@@ -1,0 +1,12 @@
+"""Benchmark E8 — eq. 17: measured vs predicted collusion damping."""
+
+from repro.experiments.eq17 import run as eq17_run
+
+
+def test_eq17_damping_identity(benchmark):
+    result = benchmark(eq17_run, num_nodes=150, fraction=0.3, group_size=5, seed=20)
+    assert len(result.rows) > 0
+    worst = max(row[4] for row in result.rows)
+    assert worst < 1e-6  # identity, not approximation
+    benchmark.extra_info["worst_abs_diff"] = worst
+    benchmark.extra_info["observers"] = len(result.rows)

@@ -1,0 +1,28 @@
+"""Benchmark E6 — Figure 6: individual-collusion (G = 1) RMS error."""
+
+import pytest
+
+from repro.attacks.collusion import individual_collusion
+from repro.experiments.collusion_common import measure_collusion
+
+
+@pytest.mark.parametrize("fraction", [0.1, 0.3])
+def test_fig6_individual_collusion_rms(benchmark, collusion_graph, collusion_trust, fraction):
+    n = collusion_graph.num_nodes
+    attack = individual_collusion(n, fraction, rng=17)
+    targets = list(range(0, n, 3))
+
+    def run():
+        return measure_collusion(
+            collusion_graph,
+            collusion_trust,
+            attack,
+            targets=targets,
+            use_gossip=False,
+        )
+
+    rms_gclr, rms_unweighted = benchmark(run)
+    assert rms_gclr < 1.0
+    benchmark.extra_info["fraction"] = fraction
+    benchmark.extra_info["rms_gclr"] = round(rms_gclr, 4)
+    benchmark.extra_info["rms_unweighted"] = round(rms_unweighted, 4)

@@ -1,0 +1,26 @@
+"""Benchmark E7 — Theorem 5.2: potential-decay measurement.
+
+Times the contribution-matrix instrument and checks the geometric decay
+(psi_0 = N - 1, psi halving-ish per step) the appendix proves.
+"""
+
+import pytest
+
+from repro.analysis.potential import measure_potential_trajectory
+from repro.network.preferential_attachment import preferential_attachment_graph
+
+N = 128
+STEPS = 20
+
+
+def test_theorem52_potential_decay(benchmark):
+    graph = preferential_attachment_graph(N, m=2, rng=18)
+
+    def run():
+        return measure_potential_trajectory(graph, STEPS, rng=19)
+
+    trajectory = benchmark(run)
+    assert trajectory.psi[0] == pytest.approx(N - 1)
+    assert trajectory.psi[STEPS] < trajectory.psi[0] / 50  # geometric decay
+    assert trajectory.weight_sum == pytest.approx(N)  # Proposition A.1
+    benchmark.extra_info["psi_final"] = round(trajectory.psi[STEPS], 4)

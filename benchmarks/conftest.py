@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures: prebuilt worlds so setup cost stays out of timings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
+
+BENCH_N = 1000  # large enough for the paper's shapes, small enough per-round
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    """A 1000-node PA graph (m=2), the benchmark workhorse topology."""
+    return preferential_attachment_graph(BENCH_N, m=2, rng=2016)
+
+
+@pytest.fixture(scope="module")
+def bench_values(bench_graph):
+    """Per-node initial observations for averaging benchmarks."""
+    return np.random.default_rng(7).random(bench_graph.num_nodes)
+
+
+@pytest.fixture(scope="module")
+def bench_trust(bench_graph):
+    """Edge-local trust observations over the benchmark graph."""
+    return random_trust_matrix(bench_graph, rng=8)
+
+
+@pytest.fixture(scope="module")
+def collusion_graph():
+    """Smaller world for collusion benchmarks (dense trust is O(N^2))."""
+    return preferential_attachment_graph(150, m=2, rng=9)
+
+
+@pytest.fixture(scope="module")
+def collusion_trust(collusion_graph):
+    """Fully observed trust matrix (the paper's heavily loaded regime)."""
+    return complete_trust_matrix(collusion_graph.num_nodes, rng=10)

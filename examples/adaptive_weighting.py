@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Adaptive a_i / b_ij — the paper's proposed extension, exercised.
+
+The conclusion of the paper suggests that the weighting constants of
+eq. 2, fixed in its experiments, should be *adapted*: a_i by the quality
+of service a node receives from the open network, b_ij by how well a
+neighbour's past recommendations predicted subsequent direct experience
+— and that this adaptation also defends against malicious recommenders.
+
+This example wires :class:`repro.core.adaptive_weights.AdaptiveWeightPolicy`
+into a GCLR aggregation and shows the defence working: a neighbour that
+keeps recommending badly-behaved peers loses its amplification, so its
+lies stop moving the estimating node's reputations.
+
+Run:
+    python examples/adaptive_weighting.py
+"""
+
+from repro.core.adaptive_weights import AdaptiveWeightPolicy
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    policy = AdaptiveWeightPolicy(a_min=2.0, a_max=8.0, b_min=0.0, b_max=2.0)
+
+    print("Phase 1 — the network serves this node well; neighbour 7 gives")
+    print("honest recommendations, neighbour 9 praises peers that then")
+    print("deliver garbage.\n")
+    rows = []
+    for step in range(40):
+        policy.record_service_quality(0.85)  # healthy network
+        policy.record_recommendation(7, recommended=0.8, experienced=0.78)
+        policy.record_recommendation(9, recommended=0.9, experienced=0.15)
+        if step in (0, 4, 14, 39):
+            rows.append(
+                [
+                    step + 1,
+                    policy.a,
+                    policy.b_for(7),
+                    policy.b_for(9),
+                    policy.weight_for(7, 0.8),
+                    policy.weight_for(9, 0.8),
+                ]
+            )
+    print(
+        format_table(
+            ["interactions", "a_i", "b(honest 7)", "b(liar 9)", "w(7, t=0.8)", "w(9, t=0.8)"],
+            rows,
+            title="Weight evolution under adaptive a/b",
+        )
+    )
+    print("\nthe liar's weight collapses toward 1 — exactly a stranger's —")
+    print("so its feedback still counts in the global average but earns no")
+    print("amplification: the paper's 'avoid malicious users' mechanism.\n")
+
+    print("Phase 2 — the open network degrades (free riders everywhere):")
+    for _ in range(40):
+        policy.record_service_quality(0.15)
+    print(f"a_i rises to {policy.a:.2f} (was ~2.9): when the network is bad,")
+    print("a node leans harder on its few proven partners relative to the")
+    print("gossiped global average.")
+
+
+if __name__ == "__main__":
+    main()

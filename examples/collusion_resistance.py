@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Collusion resistance (Section 5.2, Figures 5-6, eq. 17).
+
+Injects group-collusion attacks of growing size into a heavily loaded
+network and measures the paper's eq.-18 average RMS reputation error,
+for Differential Gossip Trust and for an unweighted global average.
+Also verifies eq. 17's damping identity at a concrete observer.
+
+Run:
+    python examples/collusion_resistance.py
+"""
+
+from repro.analysis.collusion_theory import damping_ratio
+from repro.attacks.collusion import group_colluders, select_colluders
+from repro.core.weights import WeightParams, excess_weights
+from repro.experiments.collusion_common import build_world, measure_collusion
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    num_nodes = 200
+    graph, trust = build_world(num_nodes, seed=21)
+
+    rows = []
+    for fraction in (0.1, 0.3, 0.5):
+        for group_size in (2, 10):
+            attack = group_colluders(
+                select_colluders(num_nodes, fraction, rng=int(fraction * 100) + group_size),
+                group_size,
+            )
+            rms_dgt, rms_plain = measure_collusion(
+                graph, trust, attack, targets=range(0, num_nodes, 4), use_gossip=False
+            )
+            rows.append(
+                [f"{fraction:.0%}", group_size, attack.num_colluders, rms_dgt, rms_plain]
+            )
+    print(
+        format_table(
+            ["colluders", "G", "C", "RMS (DGT)", "RMS (unweighted)"],
+            rows,
+            title="Eq.-18 average RMS reputation error under group collusion",
+        )
+    )
+    print("\nshape check (paper Fig. 5): error grows smoothly with the colluding")
+    print("fraction; the group size makes only a small difference; DGT tracks at")
+    print("or below the unweighted global average.\n")
+
+    # Eq. 17 at one observer: the damping is an identity, not a tendency.
+    params = WeightParams()
+    observer = next(
+        node
+        for node in range(num_nodes)
+        if excess_weights(params, trust.row(node))
+    )
+    total_excess = sum(
+        excess_weights(params, trust.row(observer)).get(int(nb), 0.0)
+        for nb in graph.neighbors(observer)
+    )
+    predicted = damping_ratio(num_nodes, total_excess)
+    print(f"eq. 17 at observer {observer}: sum(w-1) over neighbours = {total_excess:.3f}")
+    print(f"predicted collusion damping N/(N+sum(w-1)) = {predicted:.4f}")
+    print("(run `python -m repro.experiments eq17` for the measured-vs-predicted table)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""The paper's worked example: Table 1 on the Figure-2 network.
+
+Reconstructs the 10-node topology from the published degree sequence
+(4, 4, 7, 3, 3, 2, 2, 2, 3, 2 with differential push counts
+1, 1, 3, 1, 1, 1, 1, 1, 1, 1), runs one differential-gossip round with
+the protocol-faithful message engine, and prints the per-iteration
+estimate at every node — the paper's Table 1, regenerated.
+
+Run:
+    python examples/example_network_trace.py
+"""
+
+from repro.experiments.table1 import run as run_table1
+
+
+def main() -> None:
+    result = run_table1(xi=0.005, seed=2016)
+    print(result.to_text())
+    print()
+    print("Reading the trace: node 3 is the hub (degree 7), so the")
+    print("differential rule has it push k=3 shares per step; every other")
+    print("node pushes once. All ten estimates contract onto the mean of")
+    print("the initial direct-trust values, just as the paper's Table 1")
+    print("contracts onto ~0.42-0.45 within a handful of iterations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Free riding: the problem the paper exists to solve (Sections 1 and 3).
+
+Runs the full file-sharing world twice on the same overlay and seed:
+once with reputation-gated service, once in "anarchy" (providers ignore
+reputation). With the reputation system on, free riders — peers that
+share almost nothing and rarely serve — see their download success rate
+collapse while cooperative peers' service is unaffected, which is
+exactly the incentive structure a reputation system must create.
+
+Run:
+    python examples/free_riding.py
+"""
+
+from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.simulation.filesharing import FileSharingSimulation, SimulationConfig
+from repro.simulation.peer import cooperative_profile, free_rider_profile
+from repro.utils.tables import format_table
+
+
+def build_world(seed: int):
+    graph = preferential_attachment_graph(80, m=2, rng=seed)
+    # One peer in four free rides (the Gnutella studies the paper cites
+    # found far worse: ~70% shared nothing).
+    profiles = [
+        free_rider_profile() if i % 4 == 0 else cooperative_profile()
+        for i in range(graph.num_nodes)
+    ]
+    config = SimulationConfig(horizon=80.0, aggregation_interval=20.0)
+    return graph, profiles, config
+
+
+def run(use_reputation: bool):
+    graph, profiles, config = build_world(seed=11)
+    simulation = FileSharingSimulation(
+        graph, profiles, config, rng=12, use_reputation=use_reputation
+    )
+    return simulation.run()
+
+
+def main() -> None:
+    with_reputation = run(use_reputation=True)
+    anarchy = run(use_reputation=False)
+
+    rows = []
+    for label, report in (("reputation ON", with_reputation), ("anarchy", anarchy)):
+        for name in ("cooperative", "free_rider"):
+            summary = report.by_profile[name]
+            rows.append(
+                [
+                    label,
+                    name,
+                    summary.peers,
+                    summary.requests,
+                    summary.download_success_rate,
+                    summary.uploads_served,
+                ]
+            )
+    print(
+        format_table(
+            ["mode", "profile", "peers", "requests", "download success", "uploads served"],
+            rows,
+            title="File-sharing outcomes by behaviour profile",
+        )
+    )
+
+    ratio_on = with_reputation.success_ratio("cooperative", "free_rider")
+    ratio_off = anarchy.success_ratio("cooperative", "free_rider")
+    print(f"\ncooperative/free-rider success ratio: "
+          f"{ratio_on:.2f} with reputation vs {ratio_off:.2f} in anarchy")
+    print("-> reputation makes contribution pay: free riders are starved, ")
+    print("   so free riding stops being the dominant strategy (Section 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Whitewashing and the initial-trust policy (Section 4.1.2).
+
+The paper sets a newcomer's trust to 0 so that discarding a bad identity
+buys nothing, and notes the value "can also be taken as higher than zero
+and dynamically adjusted as per the level of whitewashing" — unstudied
+there, implemented here.
+
+The example compares three policies in the file-sharing world with a
+population of serial whitewashers:
+
+1. zero initial trust (the paper's choice);
+2. naive fixed benefit-of-the-doubt (what whitewashers exploit);
+3. the dynamic policy: benefit of the doubt that decays as identity
+   churn rises.
+
+Run:
+    python examples/whitewashing_defence.py
+"""
+
+from repro.attacks.whitewashing import WhitewashingModel
+from repro.trust.matrix import TrustMatrix
+from repro.trust.newcomer_policy import DynamicNewcomerPolicy
+from repro.utils.tables import format_table
+
+
+def simulate_policy(newcomer_trust: float, dynamic: bool = False) -> float:
+    """Average trust a serial whitewasher enjoys right after each reset.
+
+    A 50-node network; node 0 misbehaves (earns trust 0.05 from its 10
+    observers), then whitewashes every epoch for 8 epochs. Returns the
+    mean post-reset trust its observers grant it — the whitewasher's
+    payoff.
+    """
+    policy = DynamicNewcomerPolicy(max_initial_trust=newcomer_trust) if dynamic else None
+    payoffs = []
+    trust = TrustMatrix(50)
+    for epoch in range(8):
+        # The whitewasher misbehaves: observers rate it 0.05.
+        for observer in range(1, 11):
+            trust.set(observer, 0, 0.05)
+        if policy is not None:
+            policy.observe_join(now=float(epoch), population=50)
+            grant = policy.initial_trust(now=float(epoch))
+        else:
+            grant = newcomer_trust
+        model = WhitewashingModel(newcomer_trust=grant)
+        model.whitewash(trust, 0)
+        post_reset = sum(trust.get(observer, 0) for observer in range(1, 11)) / 10
+        payoffs.append(post_reset)
+    return sum(payoffs) / len(payoffs)
+
+
+def main() -> None:
+    zero = simulate_policy(0.0)
+    naive = simulate_policy(0.3)
+    dynamic = simulate_policy(0.3, dynamic=True)
+
+    print(
+        format_table(
+            ["policy", "whitewasher's mean post-reset trust"],
+            [
+                ["zero initial trust (paper)", zero],
+                ["fixed benefit of the doubt 0.3", naive],
+                ["dynamic (decays with churn)", dynamic],
+            ],
+            title="What a serial whitewasher gains under each newcomer policy",
+        )
+    )
+    print()
+    print("zero and dynamic policies both deny the whitewasher its laundered")
+    print("reputation; the dynamic policy additionally lets *honest* newcomers")
+    print("bootstrap while the network is quiet — the trade-off the paper")
+    print("points at but leaves unstudied.")
+    assert zero <= dynamic <= naive
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — Differential Gossip Trust for peer-to-peer networks.
+
+A complete, self-contained reproduction of Gupta & Singh, *"Reputation
+Aggregation in Peer-to-Peer Network Using Differential Gossip
+Algorithm"*: the differential push gossip primitive, all four
+aggregation variants, the power-law network substrate, trust estimation,
+adversary models (collusion, whitewashing), churn, comparison baselines
+and the full experiment harness that regenerates every table and figure
+of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     preferential_attachment_graph, random_trust_matrix, aggregate_vector_gclr,
+... )
+>>> graph = preferential_attachment_graph(200, m=2, rng=1)
+>>> trust = random_trust_matrix(graph, rng=2)
+>>> result = aggregate_vector_gclr(graph, trust, targets=[0, 5, 9], rng=3)
+>>> result.reputations.shape
+(200, 3)
+"""
+
+from repro.core import (
+    ConvergenceError,
+    GossipOutcome,
+    MessageLevelGossip,
+    VectorGossipEngine,
+    WeightParams,
+    aggregate_single_gclr,
+    aggregate_single_global,
+    aggregate_vector_gclr,
+    aggregate_vector_global,
+    push_counts,
+)
+from repro.network import (
+    Graph,
+    PacketLossModel,
+    example_network,
+    preferential_attachment_graph,
+)
+from repro.trust import ReputationTable, TrustMatrix, random_trust_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "PacketLossModel",
+    "preferential_attachment_graph",
+    "example_network",
+    "TrustMatrix",
+    "random_trust_matrix",
+    "ReputationTable",
+    "WeightParams",
+    "aggregate_single_global",
+    "aggregate_single_gclr",
+    "aggregate_vector_global",
+    "aggregate_vector_gclr",
+    "VectorGossipEngine",
+    "MessageLevelGossip",
+    "GossipOutcome",
+    "ConvergenceError",
+    "push_counts",
+    "__version__",
+]

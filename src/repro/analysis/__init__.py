@@ -1,0 +1,49 @@
+"""Analysis: convergence theory, collusion algebra, and metrics.
+
+Mirrors Section 5 of the paper:
+
+- :mod:`repro.analysis.theory` — Theorem 5.1/5.2 bounds and the
+  potential-function recurrence (eqs. 19–32);
+- :mod:`repro.analysis.potential` — empirical contribution-vector
+  tracking that measures the potential ``psi_n`` on real runs;
+- :mod:`repro.analysis.collusion_theory` — the collusion error closed
+  forms (eqs. 8–17);
+- :mod:`repro.analysis.metrics` — the average RMS error of eq. 18 and
+  message-overhead accounting.
+"""
+
+from repro.analysis.collusion_theory import (
+    damping_ratio,
+    expected_error_unweighted,
+    expected_error_weighted,
+)
+from repro.analysis.metrics import (
+    average_rms_error,
+    max_relative_error,
+    mean_relative_error,
+)
+from repro.analysis.potential import measure_potential_trajectory
+from repro.analysis.sweeps import SweepCell, grid_sweep, replicate
+from repro.analysis.theory import (
+    convergence_steps_bound,
+    potential_bound_sequence,
+    potential_recurrence_bound,
+    spread_steps_bound,
+)
+
+__all__ = [
+    "convergence_steps_bound",
+    "spread_steps_bound",
+    "potential_recurrence_bound",
+    "potential_bound_sequence",
+    "measure_potential_trajectory",
+    "expected_error_unweighted",
+    "expected_error_weighted",
+    "damping_ratio",
+    "average_rms_error",
+    "replicate",
+    "grid_sweep",
+    "SweepCell",
+    "max_relative_error",
+    "mean_relative_error",
+]

@@ -1,0 +1,124 @@
+"""Closed-form collusion error analysis (Section 5.2, eqs. 8–17).
+
+Setting: ``N`` peers, ``C`` of them colluding in groups of size ``G``.
+A colluder reports 1 for group-mates and 0 for everyone else. The
+*expected* error the collusion injects into node ``o``'s estimate of a
+random node ``j`` is:
+
+- unweighted (global-average, GossipTrust-style) aggregation (eq. 12):
+
+  ``dR_old = -G C / N^2 + (sum_{i in C} t_ij) / N``
+
+- GCLR-weighted aggregation (eq. 17):
+
+  ``dR_new = N / (N + sum_i (w_oi - 1)) * dR_old``
+
+i.e. the weighting attenuates collusion by a factor strictly less than
+1 whenever node ``o`` extends any excess trust. These functions compute
+both forms so experiments E5/E6/E8 can overlay theory on measurement.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def _check_population(num_nodes: int, num_colluders: int, group_size: int) -> None:
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if not 0 <= num_colluders <= num_nodes:
+        raise ValueError(
+            f"num_colluders must lie in 0..{num_nodes}, got {num_colluders}"
+        )
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+
+
+def expected_error_unweighted(
+    num_nodes: int,
+    num_colluders: int,
+    group_size: int,
+    colluder_trust_sum: float,
+) -> float:
+    """Eq. 12: expected collusion error of plain global averaging.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``N``.
+    num_colluders:
+        ``C`` (cardinality of the colluding set).
+    group_size:
+        ``G``.
+    colluder_trust_sum:
+        ``sum_{i in C} t_ij`` — the honest trust the colluders *withheld*
+        by reporting 0 (their genuine direct observations of ``j``).
+
+    Returns
+    -------
+    float
+        ``dR_old`` — negative when the inflation term dominates (the
+        colluders' mutual praise raised group members' estimates more
+        than their badmouthing lowered ``j``'s).
+    """
+    _check_population(num_nodes, num_colluders, group_size)
+    inflation = group_size * num_colluders / num_nodes**2
+    withheld = colluder_trust_sum / num_nodes
+    return -inflation + withheld
+
+
+def damping_ratio(num_nodes: int, total_excess_weight: float) -> float:
+    """Eq. 17's attenuation factor ``N / (N + sum (w_oi - 1))``."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if total_excess_weight < 0:
+        raise ValueError(
+            f"total_excess_weight must be >= 0, got {total_excess_weight}"
+        )
+    return num_nodes / (num_nodes + total_excess_weight)
+
+
+def expected_error_weighted(
+    num_nodes: int,
+    num_colluders: int,
+    group_size: int,
+    colluder_trust_sum: float,
+    total_excess_weight: float,
+) -> float:
+    """Eq. 17: expected collusion error of GCLR-weighted aggregation.
+
+    ``dR_new = damping_ratio * dR_old``; approaches ``dR_old`` when the
+    estimating node trusts nobody (zero excess weight) and 0 as its
+    trusted neighbourhood grows.
+    """
+    base = expected_error_unweighted(
+        num_nodes, num_colluders, group_size, colluder_trust_sum
+    )
+    return damping_ratio(num_nodes, total_excess_weight) * base
+
+
+def worst_case_inflation(num_nodes: int, num_colluders: int, group_size: int) -> float:
+    """Magnitude of the pure-inflation term ``G C / N^2``.
+
+    Useful as the experiment axis when colluders had no honest opinions
+    to withhold (``colluder_trust_sum = 0``): the entire expected error
+    is the mutual-praise inflation.
+    """
+    _check_population(num_nodes, num_colluders, group_size)
+    return group_size * num_colluders / num_nodes**2
+
+
+def breakeven_excess_weight(num_nodes: int, reduction: float) -> float:
+    """Excess weight needed to attenuate collusion error by ``reduction``.
+
+    Solves ``damping_ratio = 1 - reduction`` for the total excess weight:
+    e.g. ``reduction = 0.5`` returns the excess weight at which GCLR
+    halves the collusion error. Useful for sizing ``a``/``b``.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    check_positive(reduction, "reduction")
+    if reduction >= 1.0:
+        raise ValueError(f"reduction must be < 1, got {reduction}")
+    target_ratio = 1.0 - reduction
+    return num_nodes * (1.0 - target_ratio) / target_ratio

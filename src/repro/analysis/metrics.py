@@ -1,0 +1,86 @@
+"""Error and overhead metrics used across the experiments.
+
+The headline metric is the paper's eq. 18 average RMS error:
+
+``(1/N) sum_i sqrt( (1/N) sum_j ((r_ij - rhat_ij) / r_ij)^2 )``
+
+where ``r`` is the reputation matrix computed *with* colluders present
+and ``rhat`` the matrix from the identical run *without* them. Cells
+with ``r_ij = 0`` are excluded from the inner mean (the relative error
+is undefined there); the paper does not say how it handles them, and
+excluding is the conservative choice — it never manufactures error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_rms_error(observed: np.ndarray, reference: np.ndarray) -> float:
+    """Eq. 18's average RMS relative error between two reputation matrices.
+
+    Parameters
+    ----------
+    observed:
+        ``r_ij`` — reputations under attack (or any perturbed run).
+    reference:
+        ``rhat_ij`` — clean-run reputations, same shape.
+
+    Returns
+    -------
+    float
+        Average over rows ``i`` of the RMS of per-cell relative errors.
+        Cells where ``observed == 0`` are skipped; a row with no valid
+        cell contributes 0.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> r = np.array([[0.5, 0.5], [0.5, 0.5]])
+    >>> average_rms_error(r, r)
+    0.0
+    >>> float(round(average_rms_error(r, r * 1.1), 6))
+    0.1
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if observed.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {observed.shape} vs {reference.shape}")
+    if observed.ndim != 2:
+        raise ValueError(f"expected 2-D reputation matrices, got shape {observed.shape}")
+    valid = observed != 0.0
+    relative_sq = np.zeros_like(observed)
+    np.divide(
+        observed - reference,
+        observed,
+        out=relative_sq,
+        where=valid,
+    )
+    relative_sq = relative_sq**2
+    counts = valid.sum(axis=1)
+    row_means = np.zeros(observed.shape[0])
+    np.divide(relative_sq.sum(axis=1), counts, out=row_means, where=counts > 0)
+    return float(np.sqrt(row_means).mean())
+
+
+def max_relative_error(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Worst relative error of ``estimates`` against element-wise ``truth``.
+
+    Cells with zero truth compare absolutely (relative error undefined).
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimates.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {estimates.shape} vs {truth.shape}")
+    scale = np.where(np.abs(truth) > 0, np.abs(truth), 1.0)
+    return float((np.abs(estimates - truth) / scale).max())
+
+
+def mean_relative_error(estimates: np.ndarray, truth: np.ndarray) -> float:
+    """Mean relative error of ``estimates`` against element-wise ``truth``."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimates.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {estimates.shape} vs {truth.shape}")
+    scale = np.where(np.abs(truth) > 0, np.abs(truth), 1.0)
+    return float((np.abs(estimates - truth) / scale).mean())

@@ -1,0 +1,128 @@
+"""Theoretical bounds of Section 5.1 and the appendix.
+
+Three results matter for the experiments:
+
+- **Theorem 5.1** — differential push spreads a rumour through a PA
+  graph ``G^m_N`` (m >= 2) in ``O((log2 N)^2)`` steps w.h.p.
+- **Theorem 5.2** — uniform gossip with differential push is
+  ``xi``-uniform within ``O((log2 N)^2 + log2(1/xi))`` steps.
+- **Potential recurrence** (eq. 27) — for p-push,
+  ``E[psi_{n+1} | psi_n] <= psi_n / (p+1) + 1 / (4 (p+1)^2)``,
+  with ``psi_0 = N - 1`` (eq. 28), giving the closed-form decay
+  ``E[psi_n] <= (N-1) (p+1)^{-n} + 1/(4 p (p+1))`` used to prove
+  Theorem 5.2.
+
+These functions return the bound *values* (with unit constants, as the
+paper's O(·) hides them); experiment E7 checks measured potentials
+against :func:`potential_bound_sequence` and Figure-3 analyses compare
+measured step counts against :func:`convergence_steps_bound` shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.utils.validation import check_positive
+
+
+def spread_steps_bound(num_nodes: int) -> float:
+    """Theorem 5.1's spreading-time scale ``(log2 N)^2``."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if num_nodes == 1:
+        return 0.0
+    return math.log2(num_nodes) ** 2
+
+
+def convergence_steps_bound(num_nodes: int, xi: float) -> float:
+    """Theorem 5.2's convergence-time scale ``(log2 N)^2 + log2(1/xi)``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Network size ``N``.
+    xi:
+        Gossip error tolerance.
+
+    Examples
+    --------
+    >>> convergence_steps_bound(1024, 1e-3) > convergence_steps_bound(1024, 1e-2)
+    True
+    """
+    check_positive(xi, "xi")
+    return spread_steps_bound(num_nodes) + math.log2(1.0 / xi)
+
+
+def psi_initial(num_nodes: int) -> float:
+    """Initial potential ``psi_0 = N - 1`` (eq. 28)."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    return float(num_nodes - 1)
+
+
+def potential_recurrence_bound(psi_n: float, p: int = 1) -> float:
+    """One-step potential bound (eq. 27): ``psi/(p+1) + 1/(4 (p+1)^2)``.
+
+    Parameters
+    ----------
+    psi_n:
+        Current potential value.
+    p:
+        Pushes per node per step (p-push analysis; the differential
+        algorithm's worst case is ``p = 1``).
+    """
+    if psi_n < 0:
+        raise ValueError(f"potential must be >= 0, got {psi_n}")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return psi_n / (p + 1) + 1.0 / (4.0 * (p + 1) ** 2)
+
+
+def potential_closed_form(num_nodes: int, steps: int, p: int = 1) -> float:
+    """Closed-form n-step bound: ``(N-1)(p+1)^-n + 1/(4 p (p+1))``.
+
+    This is the paper's telescoped recurrence (the line before eq. 31);
+    for ``p = 1`` it simplifies to ``(N-1) 2^-n + 1/8``.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return psi_initial(num_nodes) * (p + 1.0) ** (-steps) + 1.0 / (4.0 * p * (p + 1))
+
+
+def potential_bound_sequence(num_nodes: int, steps: int, p: int = 1) -> List[float]:
+    """Expected-potential bounds for steps ``0..steps`` via the recurrence.
+
+    Iterating eq. 27 from ``psi_0 = N - 1`` gives a slightly tighter
+    trajectory than the closed form; experiment E7 plots measured
+    potentials under this sequence.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    bounds = [psi_initial(num_nodes)]
+    for _ in range(steps):
+        bounds.append(potential_recurrence_bound(bounds[-1], p=p))
+    return bounds
+
+
+def steps_to_reach_xi(num_nodes: int, xi: float, kd: float = 8.0, p: int = 1) -> int:
+    """Steps after which the bounded expected potential drops below ``xi``.
+
+    Follows eq. 31–32: ``n = log2(N-1) + log2(kd) + log2(1/xi)`` for
+    ``p = 1`` (the paper absorbs the floor term ``1/8`` into the
+    constant ``kd``). Returned as an integer step count.
+    """
+    check_positive(xi, "xi")
+    if kd <= 1:
+        raise ValueError(f"kd must be > 1, got {kd}")
+    if num_nodes < 2:
+        return 0
+    base = p + 1
+    n = (
+        math.log(num_nodes - 1, base)
+        + math.log(kd, base)
+        + math.log(1.0 / xi, base)
+    )
+    return max(0, math.ceil(n))

@@ -1,0 +1,24 @@
+"""Adversary models: collusion and whitewashing.
+
+Section 5.2 analyses collusion; Figures 5 and 6 measure it. Section
+4.1.2 motivates the zero initial trust value with whitewashing. Both
+attacks are implemented as *transformations of the trust matrix* (or of
+peer identity, for whitewashing) so that any aggregation algorithm can
+be evaluated under attack without modification.
+"""
+
+from repro.attacks.collusion import (
+    CollusionAttack,
+    apply_collusion,
+    group_colluders,
+    select_colluders,
+)
+from repro.attacks.whitewashing import WhitewashingModel
+
+__all__ = [
+    "CollusionAttack",
+    "apply_collusion",
+    "group_colluders",
+    "select_colluders",
+    "WhitewashingModel",
+]

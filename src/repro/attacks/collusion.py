@@ -1,0 +1,155 @@
+"""Collusion attack models (Section 5.2, Figures 5–6).
+
+The paper's collusion model: a subset ``C`` of peers colludes in groups
+of size ``G``. A colluder reports trust **1** for fellow members of its
+own group and trust **0** for every other node. Figure 5 sweeps the
+colluding fraction for several group sizes ("group collusion");
+Figure 6 uses ``G = 1`` — lone malicious peers whose only lever is
+badmouthing everyone else ("individual collusion").
+
+Attacks are pure functions from an honest trust matrix to a poisoned
+copy; the honest matrix is never mutated, so with/without comparisons
+(the RMS error of eq. 18) can share one baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class CollusionAttack:
+    """A concrete collusion instance: who colludes, in which groups.
+
+    Attributes
+    ----------
+    groups:
+        Tuple of colluding groups, each a tuple of node ids. Groups are
+        disjoint. Group size 1 models individual (badmouth-only)
+        colluders.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for group in self.groups:
+            if len(group) < 1:
+                raise ValueError("colluding groups must be non-empty")
+            for node in group:
+                if node in seen:
+                    raise ValueError(f"node {node} appears in more than one colluding group")
+                seen.add(node)
+
+    @property
+    def colluders(self) -> frozenset:
+        """All colluding node ids."""
+        return frozenset(node for group in self.groups for node in group)
+
+    @property
+    def num_colluders(self) -> int:
+        """``C`` — total colluding population."""
+        return sum(len(group) for group in self.groups)
+
+    def group_of(self, node: int) -> Tuple[int, ...]:
+        """The group containing ``node`` (KeyError if honest)."""
+        for group in self.groups:
+            if node in group:
+                return group
+        raise KeyError(f"node {node} is not a colluder")
+
+
+def select_colluders(
+    num_nodes: int,
+    fraction: float,
+    *,
+    rng: RngLike = None,
+    exclude: Sequence[int] = (),
+) -> np.ndarray:
+    """Pick ``round(fraction * N)`` distinct colluding nodes uniformly.
+
+    Parameters
+    ----------
+    num_nodes:
+        Network size ``N``.
+    fraction:
+        Colluding fraction in ``[0, 1)``.
+    rng:
+        Seed / generator.
+    exclude:
+        Node ids that must stay honest (e.g. the measurement observer).
+    """
+    check_fraction(fraction, "fraction")
+    generator = as_generator(rng)
+    excluded = set(int(e) for e in exclude)
+    candidates = np.array([i for i in range(num_nodes) if i not in excluded], dtype=np.int64)
+    count = int(round(fraction * num_nodes))
+    count = min(count, candidates.size)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(generator.choice(candidates, size=count, replace=False))
+
+
+def group_colluders(colluders: np.ndarray, group_size: int) -> CollusionAttack:
+    """Partition ``colluders`` into groups of ``group_size``.
+
+    The trailing remainder (fewer than ``group_size`` nodes) forms a
+    smaller final group, matching the paper's "colluding in groups with
+    a group size of G" without discarding peers.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    ids: List[int] = [int(c) for c in colluders]
+    groups = tuple(
+        tuple(ids[start : start + group_size]) for start in range(0, len(ids), group_size)
+    )
+    return CollusionAttack(groups=groups)
+
+
+def apply_collusion(trust: TrustMatrix, attack: CollusionAttack) -> TrustMatrix:
+    """Return a poisoned copy of ``trust`` under ``attack``.
+
+    Each colluder's *entire* reported row is replaced: trust 1 for
+    fellow group members, trust 0 for everyone else (including honest
+    peers it genuinely interacted with — badmouthing). Honest rows are
+    untouched; collusion only corrupts what colluders *report*, not what
+    others observed about them.
+
+    Notes
+    -----
+    A reported 0 is an explicit opinion (it carries gossip weight 1 and
+    enters the averages), which is exactly how the colluders depress
+    honest peers' aggregated reputation in eqs. 9 and 14.
+    """
+    poisoned = trust.copy()
+    n = trust.num_nodes
+    for group in attack.groups:
+        members = set(group)
+        for colluder in group:
+            # Wipe the honest opinions the colluder used to report.
+            for target in list(poisoned.row(colluder)):
+                poisoned.discard(colluder, target)
+            for target in range(n):
+                if target == colluder:
+                    continue
+                poisoned.set(colluder, target, 1.0 if target in members else 0.0)
+    return poisoned
+
+
+def individual_collusion(
+    num_nodes: int,
+    fraction: float,
+    *,
+    rng: RngLike = None,
+    exclude: Sequence[int] = (),
+) -> CollusionAttack:
+    """Figure 6's model: lone badmouthing colluders (``G = 1``)."""
+    colluders = select_colluders(num_nodes, fraction, rng=rng, exclude=exclude)
+    return group_colluders(colluders, 1)

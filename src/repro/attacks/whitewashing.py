@@ -1,0 +1,74 @@
+"""Whitewashing attack model (Section 4.1.2's motivation).
+
+A whitewasher exploits reputation systems that grant newcomers benefit
+of the doubt: misbehave, discard the identity, rejoin "clean". The
+paper's defence is the initial trust value of **zero** — a fresh
+identity starts exactly where a known-bad peer ends up, so shedding
+history buys nothing.
+
+:class:`WhitewashingModel` tracks identity resets over simulation time
+and rewrites the trust state accordingly, so the file-sharing workload
+(and tests) can measure how much a whitewasher gains under a given
+initial-trust policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trust.matrix import TrustMatrix
+from repro.utils.validation import check_trust_value
+
+
+@dataclass
+class WhitewashingModel:
+    """Tracks whitewashing resets and applies them to trust state.
+
+    Attributes
+    ----------
+    newcomer_trust:
+        The trust value the network grants an unknown identity. The
+        paper fixes this at 0.0 and notes a dynamic positive value is
+        possible but unstudied; the knob exists so experiments can show
+        *why* 0 is the safe choice.
+    reset_counts:
+        How many times each node has whitewashed so far.
+    """
+
+    newcomer_trust: float = 0.0
+    reset_counts: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_trust_value(self.newcomer_trust, "newcomer_trust")
+
+    def whitewash(self, trust: TrustMatrix, node: int) -> None:
+        """Node ``node`` discards its identity and rejoins.
+
+        Every opinion *about* the node is erased (nobody recognises the
+        new identity) and replaced by the newcomer policy: either no
+        entry at all (``newcomer_trust == 0``, the paper's choice — the
+        node is a stranger with implicit trust 0) or an explicit
+        benefit-of-the-doubt entry from its former observers (a
+        deliberately naive policy for comparison experiments).
+
+        The node's own outgoing opinions survive — whitewashing changes
+        who *it* is, not what it knows.
+        """
+        observers = list(trust.observers_of(node))
+        for observer in observers:
+            trust.discard(observer, node)
+        if self.newcomer_trust > 0.0:
+            for observer in observers:
+                trust.set(observer, node, self.newcomer_trust)
+        self.reset_counts[node] = self.reset_counts.get(node, 0) + 1
+
+    def total_resets(self) -> int:
+        """Total whitewash events across all nodes."""
+        return sum(self.reset_counts.values())
+
+    def serial_whitewashers(self, threshold: int = 2) -> List[int]:
+        """Nodes that have reset at least ``threshold`` times."""
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        return sorted(node for node, count in self.reset_counts.items() if count >= threshold)

@@ -1,0 +1,32 @@
+"""Comparison baselines.
+
+The paper positions differential gossip against:
+
+- **normal push gossip** (push-sum, Kempe et al. FOCS'03) — what Fig. 3
+  and Table 2 compare step counts / message overhead with;
+- **push-pull gossip** — what Theorem 5.1's discussion says one would
+  need on PA graphs if hubs could be identified;
+- **GossipTrust** (Zhou, Hwang & Cai, TKDE'08) — the prior gossip-based
+  reputation aggregator whose *global* (uncalibrated) estimates the
+  collusion analysis (eqs. 8–12) models;
+- **EigenTrust** (Kamvar et al., WWW'03) — the classic global reputation
+  fixpoint, included as a related-work comparator;
+- **flooding** — the deterministic full-dissemination strawman for
+  message-overhead comparisons.
+"""
+
+from repro.baselines.eigentrust import eigentrust
+from repro.baselines.flooding import flood_spread
+from repro.baselines.gossip_trust import gossip_trust_global, unweighted_global_estimate
+from repro.baselines.push_pull import push_pull_average
+from repro.baselines.push_sum import normal_push_engine, push_sum_average
+
+__all__ = [
+    "push_sum_average",
+    "normal_push_engine",
+    "push_pull_average",
+    "gossip_trust_global",
+    "unweighted_global_estimate",
+    "eigentrust",
+    "flood_spread",
+]

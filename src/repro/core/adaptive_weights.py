@@ -1,0 +1,130 @@
+"""Adaptive weighting — the paper's stated extension.
+
+Eq. 2's constants are, per the paper, per-node tunables: *"First
+parameter [a_i] can be adjusted according to the overall quality of
+service received by the node from the network, whereas second parameter
+[b_ij] can be adjusted according to the recommendation of a particular
+neighbour"*, and the conclusion proposes exactly this adjustment as the
+way to also *"avoid malicious users"*. The paper fixes both to constants
+"for simplicity"; this module implements the adjustment policies so the
+extension can be exercised and measured.
+
+Two feedback loops:
+
+- **Network loop (a_i)** — the worse the service a node receives from
+  the open network, the more it should lean on its own trusted
+  neighbours relative to the global average: ``a_i`` interpolates
+  between ``a_min`` (good network ⇒ global average suffices) and
+  ``a_max`` (bad network ⇒ trust your friends).
+- **Recommendation loop (b_ij)** — a neighbour whose past
+  recommendations matched the node's subsequent direct experience earns
+  a larger exponent gain; one whose recommendations misled loses it.
+  Accuracy is tracked as an exponential moving average of
+  ``1 - |recommended - experienced|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.weights import WeightParams
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class AdaptiveWeightPolicy:
+    """Per-node controller for the eq.-2 constants.
+
+    Parameters
+    ----------
+    a_min, a_max:
+        Range of the base ``a_i`` (both >= 1; ``a_min <= a_max``).
+    b_min, b_max:
+        Range of the per-neighbour gain ``b_ij`` (0 <= b_min <= b_max).
+    smoothing:
+        EMA factor in (0, 1] for both feedback signals; smaller values
+        adapt more slowly but resist manipulation by bursts.
+
+    Examples
+    --------
+    >>> policy = AdaptiveWeightPolicy()
+    >>> for _ in range(30):
+    ...     policy.record_service_quality(0.1)   # terrible network service
+    >>> policy.params_for(7).a > AdaptiveWeightPolicy().params_for(7).a
+    True
+    """
+
+    a_min: float = 2.0
+    a_max: float = 8.0
+    b_min: float = 0.25
+    b_max: float = 2.0
+    smoothing: float = 0.2
+    _network_quality: float = field(default=0.5, init=False, repr=False)
+    _recommendation_accuracy: Dict[int, float] = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1.0 <= self.a_min <= self.a_max:
+            raise ValueError(f"need 1 <= a_min <= a_max, got {self.a_min}, {self.a_max}")
+        if not 0.0 <= self.b_min <= self.b_max:
+            raise ValueError(f"need 0 <= b_min <= b_max, got {self.b_min}, {self.b_max}")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError(f"smoothing must lie in (0, 1], got {self.smoothing}")
+
+    # -- feedback ----------------------------------------------------------------
+
+    def record_service_quality(self, satisfaction: float) -> None:
+        """Fold one open-network transaction outcome into the a_i loop."""
+        check_probability(satisfaction, "satisfaction")
+        self._network_quality += self.smoothing * (satisfaction - self._network_quality)
+
+    def record_recommendation(self, neighbor: int, recommended: float, experienced: float) -> None:
+        """Fold one recommendation-vs-experience comparison into the b_ij loop.
+
+        Parameters
+        ----------
+        neighbor:
+            The neighbour whose earlier feedback is being scored.
+        recommended:
+            The trust value the neighbour reported for some peer.
+        experienced:
+            The satisfaction this node then actually observed with that
+            peer.
+        """
+        check_probability(recommended, "recommended")
+        check_probability(experienced, "experienced")
+        accuracy = 1.0 - abs(recommended - experienced)
+        current = self._recommendation_accuracy.get(neighbor, 0.5)
+        self._recommendation_accuracy[neighbor] = current + self.smoothing * (
+            accuracy - current
+        )
+
+    # -- readouts ----------------------------------------------------------------
+
+    @property
+    def network_quality(self) -> float:
+        """EMA of open-network service quality (drives ``a_i``)."""
+        return self._network_quality
+
+    def recommendation_accuracy(self, neighbor: int) -> float:
+        """EMA recommendation accuracy for ``neighbor`` (0.5 before data)."""
+        return self._recommendation_accuracy.get(neighbor, 0.5)
+
+    @property
+    def a(self) -> float:
+        """Current base: bad network service pushes ``a`` toward ``a_max``."""
+        distrust = 1.0 - self._network_quality
+        return self.a_min + (self.a_max - self.a_min) * distrust
+
+    def b_for(self, neighbor: int) -> float:
+        """Current gain for ``neighbor``: accurate recommenders earn more."""
+        accuracy = self.recommendation_accuracy(neighbor)
+        return self.b_min + (self.b_max - self.b_min) * accuracy
+
+    def params_for(self, neighbor: int) -> WeightParams:
+        """eq.-2 constants to use when weighing ``neighbor``'s feedback."""
+        return WeightParams(a=self.a, b=self.b_for(neighbor))
+
+    def weight_for(self, neighbor: int, trust: float) -> float:
+        """Full adaptive weight ``a_i ** (b_ij * t_ij)`` for a neighbour."""
+        return self.params_for(neighbor).weight(trust)

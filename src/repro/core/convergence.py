@@ -1,0 +1,229 @@
+"""Convergence detection and the stop-announcement protocol.
+
+A node cannot observe the network-wide state, so the paper's stopping
+rule is purely local and has two layers:
+
+1. **Self convergence** — after a step in which the node heard from at
+   least one *other* node, it compares its new estimate against the
+   previous step's (``|y/g - u| <= xi`` for a scalar; eq. 7's summed
+   form ``sum_j |ratio_j(n) - ratio_j(n-1)| <= N * xi`` for a vector)
+   and, on success, announces convergence to its neighbours.
+2. **Neighbourhood convergence** — a converged node keeps gossiping
+   (its neighbours may still need its pushes) and only *stops* once it
+   and every one of its neighbours have announced convergence.
+
+:class:`ConvergenceProtocol` implements both layers over arrays so the
+vectorised engine can drive thousands of nodes per step; the
+message-level engine uses the same class one node at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.network.graph import Graph
+from repro.utils.validation import check_positive
+
+
+class ConvergenceProtocol:
+    """Tracks per-node convergence and the neighbour-announcement stop rule.
+
+    Parameters
+    ----------
+    graph:
+        Topology (neighbour sets drive the stop rule).
+    xi:
+        Error tolerance ``xi`` of the paper. For vector gossip over
+        ``d`` components the per-node threshold is ``d * xi`` (eq. 7
+        with ``d = N``).
+    num_components:
+        Number of gossiped components ``d`` (1 for Algorithms 1–2).
+    patience:
+        Number of *consecutive* satisfied checks required before a node
+        announces convergence. The paper announces on the first
+        satisfied check (``patience = 1``); with few feedback sources
+        that single-shot test can fire while a region is still
+        exchanging mass from just one source (every local ratio equal,
+        globally wrong), freezing the round early. A small patience
+        (2–3) makes the local rule reliable at negligible step cost; the
+        deviation from the paper is documented in DESIGN.md.
+    warmup_steps:
+        Checks during the first ``warmup_steps`` steps never count: a
+        node whose estimate has not moved *because no value mass has
+        reached it yet* is indistinguishable from a converged one by the
+        local test, and Theorem 5.1 says mass needs ~polylog(N) steps to
+        spread. Engines default this to ``ceil(log2 N) + 1``, the PA
+        diameter scale. ``warmup_steps = 0`` is the paper-literal rule.
+
+    Notes
+    -----
+    Isolated nodes (degree 0) can neither push nor receive; they are
+    treated as stopped from the outset so they never block termination.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        xi: float,
+        *,
+        num_components: int = 1,
+        patience: int = 1,
+        warmup_steps: int = 0,
+    ):
+        check_positive(xi, "xi")
+        if num_components < 1:
+            raise ValueError(f"num_components must be >= 1, got {num_components}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if warmup_steps < 0:
+            raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
+        self._graph = graph
+        self._xi = float(xi)
+        self._threshold = float(xi) * num_components
+        self._patience = int(patience)
+        self._warmup_steps = int(warmup_steps)
+        self._observed_steps = 0
+        n = graph.num_nodes
+        self._converged = np.zeros(n, dtype=bool)
+        self._satisfied_streak = np.zeros(n, dtype=np.int64)
+        self._converged_neighbor_count = np.zeros(n, dtype=np.int64)
+        isolated = graph.degrees == 0
+        self._converged[isolated] = True
+        self._stopped = isolated.copy()
+
+    # -- read-only state -------------------------------------------------------
+
+    @property
+    def xi(self) -> float:
+        """Configured error tolerance."""
+        return self._xi
+
+    @property
+    def threshold(self) -> float:
+        """Per-node deviation threshold (``xi * num_components``)."""
+        return self._threshold
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Boolean mask of nodes that have announced convergence (read-only)."""
+        view = self._converged.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def stopped(self) -> np.ndarray:
+        """Boolean mask of nodes that stopped gossiping (read-only)."""
+        view = self._stopped.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def all_stopped(self) -> bool:
+        """Whether every node has stopped — the round is over."""
+        return bool(self._stopped.all())
+
+    @property
+    def num_unconverged(self) -> int:
+        """Number of nodes that have not announced convergence yet."""
+        return int((~self._converged).sum())
+
+    # -- per-step update ---------------------------------------------------------
+
+    def observe(
+        self,
+        deviations: np.ndarray,
+        heard_external: np.ndarray,
+        ratio_defined: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Fold one step's estimate movements into the protocol.
+
+        Parameters
+        ----------
+        deviations:
+            Per-node total estimate movement this step
+            (``sum_j |ratio_j(n) - ratio_j(n-1)|``; plain absolute
+            difference when ``d = 1``).
+        heard_external:
+            Boolean mask — node received at least one gossip pair from a
+            node other than itself this step (the ``|S| > 1`` guard).
+        ratio_defined:
+            Boolean mask — node's estimate is defined, i.e. its gossip
+            weight is non-zero on every live component. While a node's
+            weight is zero its ratio is the sentinel ``u = 10``
+            (undefined), and the paper's convergence test cannot be
+            passed: a node that knows nothing has not converged, however
+            still its sentinel sits. ``None`` means "all defined".
+
+        Returns
+        -------
+        numpy.ndarray
+            Ids of nodes that *newly* announced convergence this step.
+        """
+        deviations = np.asarray(deviations, dtype=np.float64)
+        heard_external = np.asarray(heard_external, dtype=bool)
+        n = self._graph.num_nodes
+        if deviations.shape != (n,) or heard_external.shape != (n,):
+            raise ValueError(
+                f"expected shape ({n},) arrays, got {deviations.shape} and {heard_external.shape}"
+            )
+        self._observed_steps += 1
+        satisfied = ~self._converged & heard_external & (deviations <= self._threshold)
+        if ratio_defined is not None:
+            ratio_defined = np.asarray(ratio_defined, dtype=bool)
+            if ratio_defined.shape != (n,):
+                raise ValueError(f"ratio_defined must have shape ({n},), got {ratio_defined.shape}")
+            satisfied &= ratio_defined
+        if self._observed_steps <= self._warmup_steps:
+            satisfied[:] = False
+        # A failed check (on a step where the node heard something) resets
+        # the streak; steps with no external input leave it unchanged, as
+        # the pseudocode skips the check entirely when |S| <= 1.
+        failed = heard_external & ~satisfied & ~self._converged
+        self._satisfied_streak[satisfied] += 1
+        self._satisfied_streak[failed] = 0
+        newly = np.flatnonzero(satisfied & (self._satisfied_streak >= self._patience))
+        if newly.size:
+            self._announce(newly)
+        self._refresh_stopped()
+        return newly
+
+    def _announce(self, nodes: Iterable[int]) -> None:
+        """Mark ``nodes`` converged and notify their neighbours."""
+        node_array = np.asarray(list(nodes), dtype=np.int64)
+        self._converged[node_array] = True
+        # Each announcement increments the converged-neighbour counter of
+        # every neighbour; np.add.at handles shared neighbours correctly.
+        indptr, indices = self._graph.indptr, self._graph.indices
+        neighbor_lists: List[np.ndarray] = [
+            indices[indptr[node] : indptr[node + 1]] for node in node_array
+        ]
+        if neighbor_lists:
+            all_neighbors = np.concatenate(neighbor_lists)
+            np.add.at(self._converged_neighbor_count, all_neighbors, 1)
+
+    def _refresh_stopped(self) -> None:
+        degrees = self._graph.degrees
+        self._stopped = self._converged & (self._converged_neighbor_count >= degrees)
+        self._stopped[degrees == 0] = True
+
+
+def deviation_scalar(new_ratios: np.ndarray, old_ratios: np.ndarray) -> np.ndarray:
+    """Per-node estimate movement for scalar gossip (``d = 1``)."""
+    return np.abs(np.asarray(new_ratios) - np.asarray(old_ratios)).reshape(-1)
+
+
+def deviation_vector(new_ratios: np.ndarray, old_ratios: np.ndarray) -> np.ndarray:
+    """Per-node estimate movement for vector gossip (eq. 7 left-hand side).
+
+    Parameters
+    ----------
+    new_ratios, old_ratios:
+        ``(N, d)`` ratio arrays from consecutive steps.
+    """
+    new_ratios = np.asarray(new_ratios)
+    old_ratios = np.asarray(old_ratios)
+    if new_ratios.ndim != 2:
+        raise ValueError(f"expected (N, d) ratios, got shape {new_ratios.shape}")
+    return np.abs(new_ratios - old_ratios).sum(axis=1)

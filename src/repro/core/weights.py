@@ -1,0 +1,132 @@
+"""The GCLR weighting scheme ``w_Ii = a_I ** (b_Ii * t_Ii)`` (eq. 2).
+
+Node ``I`` weighs the feedback of node ``i`` by how much it trusts
+``i`` directly. The exponential form has the properties Section 4.1.2
+lists:
+
+- a stranger (``t = 0``) still gets weight exactly 1, so its feedback is
+  *counted* but never amplified;
+- a distrusted neighbour (``t`` near 0) is indistinguishable from a
+  stranger, so badmouthing one's way into influence is impossible;
+- a trusted neighbour's weight grows exponentially in trust, letting
+  honest long-term partners dominate the local correction term;
+- with ``a >= 1`` and ``b >= 0`` every weight is >= 1, which the
+  collusion-damping algebra (eq. 17) relies on.
+
+The paper treats ``a_I`` and ``b_Ii`` as per-node tunables but fixes
+them to constants in all experiments; :class:`WeightParams` captures the
+constants, and :func:`weight_vector` produces the per-observer weights
+an estimating node derives from its own trust row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.utils.validation import check_trust_value
+
+#: Paper-style defaults: a moderate base so that full trust (t = 1)
+#: multiplies a neighbour's feedback by a = 4 relative to a stranger.
+DEFAULT_A: float = 4.0
+DEFAULT_B: float = 1.0
+
+
+@dataclass(frozen=True)
+class WeightParams:
+    """Constants of the weighting law ``w = a ** (b * t)``.
+
+    Attributes
+    ----------
+    a:
+        Base, ``>= 1``. ``a = 1`` disables weighting (every ``w = 1``,
+        GCLR degenerates to the plain global average — eq. 5 -> eq. 1).
+    b:
+        Exponent gain, ``>= 0``.
+    """
+
+    a: float = DEFAULT_A
+    b: float = DEFAULT_B
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.a) or self.a < 1.0:
+            raise ValueError(f"weight base a must be >= 1, got {self.a!r}")
+        if not math.isfinite(self.b) or self.b < 0.0:
+            raise ValueError(f"weight gain b must be >= 0, got {self.b!r}")
+
+    def weight(self, trust: float) -> float:
+        """Weight granted to an observer trusted at level ``trust``."""
+        check_trust_value(trust)
+        return self.a ** (self.b * trust)
+
+    @property
+    def max_weight(self) -> float:
+        """Largest achievable weight (at full trust ``t = 1``)."""
+        return self.a**self.b
+
+
+def weight_vector(
+    params: WeightParams,
+    trust_row: Mapping[int, float],
+    num_nodes: int,
+) -> np.ndarray:
+    """Per-observer weights ``w_Ii`` for an estimating node.
+
+    Parameters
+    ----------
+    params:
+        Weighting constants.
+    trust_row:
+        The estimating node's direct-trust row ``{peer: t_I,peer}``.
+        Peers absent from the row are strangers with ``t = 0``, which
+        the law maps to weight exactly 1 — no special-casing needed.
+    num_nodes:
+        Network size ``N``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense length-``N`` weight vector, every entry >= 1.
+    """
+    weights = np.ones(num_nodes, dtype=np.float64)
+    for peer, trust in trust_row.items():
+        if not 0 <= peer < num_nodes:
+            raise ValueError(f"peer id {peer} outside 0..{num_nodes - 1}")
+        weights[peer] = params.weight(trust)
+    return weights
+
+
+def excess_weights(
+    params: WeightParams,
+    trust_row: Mapping[int, float],
+) -> Dict[int, float]:
+    """Sparse ``(w_Ii - 1)`` terms, only for peers with non-trivial weight.
+
+    Eq. 6 rewrites the GCLR estimate so that only the *excess* weight
+    ``w - 1`` of direct neighbours enters the correction sums; strangers
+    contribute exactly 0 and can be skipped entirely. This is what makes
+    the per-node correction O(degree) instead of O(N).
+    """
+    out: Dict[int, float] = {}
+    for peer, trust in trust_row.items():
+        excess = params.weight(trust) - 1.0
+        if excess != 0.0:
+            out[peer] = excess
+    return out
+
+
+def collusion_damping_factor(num_nodes: int, total_excess_weight: float) -> float:
+    """Eq. 17's attenuation ``N / (N + sum_i (w_oi - 1))``.
+
+    The expected collusion-induced estimation error of the weighted
+    scheme is the unweighted scheme's error multiplied by this factor;
+    it is < 1 whenever the estimating node extends any trust at all.
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if total_excess_weight < 0:
+        raise ValueError(f"total excess weight must be >= 0, got {total_excess_weight}")
+    return num_nodes / (num_nodes + total_excess_weight)

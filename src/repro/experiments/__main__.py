@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.runner import FULL_SCALE_ENV
+
+
+def main(argv=None) -> int:
+    """Run one experiment (or ``list``/``all``) and print its table."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'list' to enumerate, or 'all' to run everything",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=f"full-scale sweeps (equivalent to {FULL_SCALE_ENV}=1); N up to 50000",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        os.environ[FULL_SCALE_ENV] = "1"
+
+    if args.experiment == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            doc = sys.modules[EXPERIMENTS[experiment_id].__module__].__doc__ or ""
+            first_line = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{experiment_id:12s} {first_line}")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        try:
+            runner = get_experiment(experiment_id)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        kwargs = {}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        result = runner(**kwargs)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Experiment E3 — paper Figure 3.
+
+*"Gossip step counts with different number of nodes (N) and different
+error bounds xi"* — the convergence-speed headline. For each network
+size and tolerance we run one full differential-gossip round and record
+the steps until every node stopped, alongside the normal-push (k = 1)
+baseline and the ``(log2 N)^2 + log2(1/xi)`` bound shape of Theorem 5.2.
+
+Expected shape: steps grow polylogarithmically in N (nowhere near
+linear); tighter xi adds an additive ``log2(1/xi)``-ish increment;
+differential push needs no more steps than normal push while its
+*total* message cost stays competitive (Table 2 territory — here we also
+report total messages so the crossover is visible: for N >= 1000 the
+faster convergence more than pays for the hubs' extra pushes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.theory import convergence_steps_bound
+from repro.baselines.push_sum import normal_push_engine
+from repro.core.vector_engine import VectorGossipEngine
+from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.rng import as_generator
+
+QUICK_SIZES: Sequence[int] = (100, 500, 1000, 2000)
+FULL_SIZES: Sequence[int] = (100, 500, 1000, 10_000, 50_000)
+XIS: Sequence[float] = (1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def run(
+    *,
+    sizes: Optional[Sequence[int]] = None,
+    xis: Sequence[float] = XIS,
+    seed: int = 11,
+    m: int = 2,
+) -> ExperimentResult:
+    """Regenerate Figure 3 as a table (one row per (N, xi) pair)."""
+    if sizes is None:
+        sizes = FULL_SIZES if full_scale_enabled() else QUICK_SIZES
+    root = as_generator(seed)
+
+    rows: List[list] = []
+    with Stopwatch() as watch:
+        for n in sizes:
+            graph_rng = as_generator(int(root.integers(2**62)))
+            graph = preferential_attachment_graph(n, m=m, rng=graph_rng)
+            values = graph_rng.random(n)
+            weights = np.ones(n)
+            for xi in xis:
+                diff_engine = VectorGossipEngine(
+                    graph, rng=as_generator(int(root.integers(2**62)))
+                )
+                diff = diff_engine.run(values, weights, xi=xi)
+                push_engine = normal_push_engine(
+                    graph, rng=as_generator(int(root.integers(2**62)))
+                )
+                push = push_engine.run(values, weights, xi=xi)
+                rows.append(
+                    [
+                        n,
+                        f"{xi:g}",
+                        diff.steps,
+                        push.steps,
+                        diff.push_messages,
+                        push.push_messages,
+                        convergence_steps_bound(n, xi),
+                    ]
+                )
+
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Figure 3 — gossip steps to convergence vs N and xi",
+        headers=[
+            "N",
+            "xi",
+            "steps (differential)",
+            "steps (normal push)",
+            "msgs (differential)",
+            "msgs (normal push)",
+            "(log2 N)^2 + log2(1/xi)",
+        ],
+        rows=rows,
+        notes=[
+            "steps must grow ~polylog(N), far below linear (paper Fig. 3)",
+            "differential converges in no more steps than normal push; for larger N its total messages undercut normal push despite k_i > 1 per step",
+            f"m={m}; REPRO_FULL_SCALE=1 extends to N=50000",
+        ],
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,72 @@
+"""Experiment E5 — paper Figure 5.
+
+*"Average RMS error with different size colluding groups for different
+percentage of colluding peers."* Colluders form groups of size ``G``,
+praise group-mates (report 1) and badmouth everyone else (report 0);
+the plot sweeps the colluding fraction for several ``G``.
+
+Expected shape (paper): Differential Gossip Trust's RMS error stays
+small even at high colluding fractions, and the group size makes only a
+small difference. The unweighted comparator column shows what the same
+attack does to a plain global average — the gap is eq. 17's damping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.collusion_common import sweep_collusion
+from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+
+FRACTIONS: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+GROUP_SIZES: Sequence[int] = (2, 5, 10)
+QUICK_N = 250
+FULL_N = 1000
+
+
+def run(
+    *,
+    num_nodes: Optional[int] = None,
+    fractions: Sequence[float] = FRACTIONS,
+    group_sizes: Sequence[int] = GROUP_SIZES,
+    use_gossip: bool = True,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Regenerate Figure 5 (rows: colluding fraction; column pair per G)."""
+    if num_nodes is None:
+        num_nodes = FULL_N if full_scale_enabled() else QUICK_N
+    with Stopwatch() as watch:
+        measurements = sweep_collusion(
+            num_nodes,
+            fractions,
+            group_sizes,
+            use_gossip=use_gossip,
+            seed=seed,
+        )
+
+    by_key = {(m.group_size, m.fraction): m for m in measurements}
+    rows: List[list] = []
+    for fraction in fractions:
+        row: list = [f"{fraction:.0%}"]
+        for group_size in group_sizes:
+            m = by_key[(group_size, fraction)]
+            row.extend([m.rms_gclr, m.rms_unweighted])
+        rows.append(row)
+
+    headers = ["% colluders"]
+    for group_size in group_sizes:
+        headers.extend([f"G={group_size} DGT", f"G={group_size} unweighted"])
+
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"Figure 5 — average RMS error under group collusion (N={num_nodes})",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "DGT columns (differential gossip trust, GCLR weights) must stay low and grow slowly with the colluding fraction",
+            "group size G shifts the curves only slightly (paper's observation)",
+            "unweighted columns show the same attack against a plain global average — the gap is eq. 17's damping",
+            f"{'gossip' if use_gossip else 'exact fixpoint'} aggregation; identical seeds for clean/poisoned runs",
+        ],
+        elapsed_seconds=watch.elapsed,
+    )

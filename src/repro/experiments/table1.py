@@ -1,0 +1,79 @@
+"""Experiment E1 — paper Table 1.
+
+*"Aggregated value after every iteration at each node"* for the 10-node
+example network of Figure 2. Every node starts with one direct
+observation (the paper's ``itr=1`` row doubles as our initial values)
+and gossip weight 1; the message-level engine then produces the
+per-iteration trace, which must converge to the mean of the initial
+values (0.4498) within a handful of iterations — the paper's run settles
+around its initial-row mean by iteration 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.engine import MessageLevelGossip
+from repro.experiments.runner import ExperimentResult, Stopwatch
+from repro.network.topology_example import (
+    EXAMPLE_INITIAL_VALUES,
+    EXAMPLE_K_VALUES,
+    example_network,
+)
+from repro.utils.rng import RngLike
+
+
+def run(*, xi: float = 0.005, seed: RngLike = 2016, max_iterations: int = 30) -> ExperimentResult:
+    """Regenerate Table 1.
+
+    Parameters
+    ----------
+    xi:
+        Convergence tolerance; the paper's run stops after 8 iterations,
+        which a tolerance of a few 1e-3 reproduces.
+    seed:
+        Gossip randomness seed.
+    max_iterations:
+        Rows to print at most (the run usually stops well before).
+    """
+    graph = example_network()
+    initial = np.asarray(EXAMPLE_INITIAL_VALUES, dtype=np.float64)
+    with Stopwatch() as watch:
+        engine = MessageLevelGossip(graph, rng=seed)
+        outcome = engine.run(
+            initial,
+            np.ones(graph.num_nodes),
+            xi=xi,
+            max_steps=1000,
+            track_history=True,
+        )
+
+    headers = ["itr"] + [f"node {i + 1}" for i in range(graph.num_nodes)]
+    rows: List[list] = [
+        ["degree"] + [int(d) for d in graph.degrees],
+        ["k"] + [int(k) for k in EXAMPLE_K_VALUES],
+        ["itr=0"] + [float(v) for v in initial],
+    ]
+    history = outcome.ratio_history or []
+    for iteration, snapshot in enumerate(history[:max_iterations], start=1):
+        rows.append([f"itr={iteration}"] + [float(v) for v in snapshot.reshape(-1)])
+
+    target = float(initial.mean())
+    final = outcome.estimates.reshape(-1)
+    rows.append(["final"] + [float(v) for v in final])
+
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table 1 — aggregated value after every iteration (Fig. 2 example network)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            f"initial values = paper's itr=1 row; their mean {target:.4f} is the convergence target",
+            f"converged in {outcome.steps} iterations (paper: 8) with xi={xi:g}",
+            f"max |estimate - mean| at stop = {float(np.abs(final - target).max()):.4g}",
+            "degree row and k row match the paper exactly (k=3 for the hub, 1 elsewhere)",
+        ],
+        elapsed_seconds=watch.elapsed,
+    )

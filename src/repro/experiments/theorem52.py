@@ -1,0 +1,68 @@
+"""Experiment E7 — Theorem 5.2 / appendix potential-decay check.
+
+Not a numbered figure, but the load-bearing claim behind Figure 3's
+shape: the appendix proves the contribution-spread potential obeys
+``E[psi_{n+1}] <= psi_n / (p+1) + 1/(4 (p+1)^2)``, i.e. decays
+geometrically to a small floor. This experiment measures ``psi_n`` on a
+real PA graph — for the differential rule and for the plain-push (p=1)
+worst case the proof reduces to — and tabulates it against the analytic
+bound sequence. Expected shape: measured potential sits at or below the
+p=1 bound and the differential rule decays at least as fast.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.potential import measure_potential_trajectory
+from repro.analysis.theory import potential_bound_sequence
+from repro.core.differential import fixed_push_counts
+from repro.experiments.runner import ExperimentResult, Stopwatch
+from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.rng import as_generator
+
+
+def run(*, num_nodes: int = 128, steps: int = 24, seed: int = 23, m: int = 2) -> ExperimentResult:
+    """Measure potential decay vs the analytic bound.
+
+    Parameters
+    ----------
+    num_nodes:
+        Kept moderate — the instrument tracks the full (N, N)
+        contribution matrix.
+    steps:
+        Gossip steps to observe.
+    seed, m:
+        World controls.
+    """
+    root = as_generator(seed)
+    graph = preferential_attachment_graph(num_nodes, m=m, rng=as_generator(int(root.integers(2**62))))
+    with Stopwatch() as watch:
+        differential = measure_potential_trajectory(
+            graph, steps, rng=as_generator(int(root.integers(2**62)))
+        )
+        plain = measure_potential_trajectory(
+            graph,
+            steps,
+            push_counts=fixed_push_counts(graph, 1),
+            rng=as_generator(int(root.integers(2**62))),
+        )
+    bounds = potential_bound_sequence(num_nodes, steps, p=1)
+
+    rows: List[list] = [
+        [n, differential.psi[n], plain.psi[n], bounds[n]]
+        for n in range(steps + 1)
+    ]
+
+    return ExperimentResult(
+        experiment_id="theorem52",
+        title=f"Theorem 5.2 — potential decay on a PA graph (N={num_nodes})",
+        headers=["step", "psi (differential)", "psi (plain push)", "bound (p=1)"],
+        rows=rows,
+        notes=[
+            "psi_0 = N - 1 exactly (eq. 28)",
+            "both measured trajectories must decay geometrically; the p=1 recurrence bound dominates plain push in expectation",
+            f"mass audit: weight sum = {differential.weight_sum:.6f} (must equal N = {num_nodes})",
+        ],
+        elapsed_seconds=watch.elapsed,
+    )

@@ -1,0 +1,42 @@
+"""Network substrate: graphs, generators and churn models.
+
+The paper evaluates Differential Gossip Trust exclusively on power-law
+networks produced by the preferential-attachment (PA) process, so this
+package provides:
+
+- :class:`repro.network.graph.Graph` — an immutable CSR-backed undirected
+  graph with the degree statistics the differential push rule needs;
+- :func:`repro.network.preferential_attachment.preferential_attachment_graph`
+  — the Barabási–Albert / Bollobás PA generator (``m >= 2``);
+- :mod:`repro.network.degree_sequence` — Havel–Hakimi construction,
+  Erdős–Gallai graphicality test and a power-law exponent estimator;
+- :func:`repro.network.topology_example.example_network` — the 10-node
+  network of the paper's Figure 2 (degree sequence 4,4,7,3,3,2,2,2,3,2);
+- :class:`repro.network.churn.PacketLossModel` — the mass-conserving
+  packet-loss/churn model of Figure 4.
+"""
+
+from repro.network.churn import PacketLossModel
+from repro.network.degree_sequence import (
+    estimate_power_law_exponent,
+    havel_hakimi_graph,
+    is_graphical,
+)
+from repro.network.graph import Graph
+from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.network.random_graphs import erdos_renyi_graph, random_regular_graph
+from repro.network.topology_example import EXAMPLE_DEGREES, EXAMPLE_K_VALUES, example_network
+
+__all__ = [
+    "Graph",
+    "PacketLossModel",
+    "preferential_attachment_graph",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    "havel_hakimi_graph",
+    "is_graphical",
+    "estimate_power_law_exponent",
+    "example_network",
+    "EXAMPLE_DEGREES",
+    "EXAMPLE_K_VALUES",
+]

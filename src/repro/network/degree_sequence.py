@@ -1,0 +1,148 @@
+"""Degree-sequence tools: graphicality, Havel–Hakimi, power-law fitting.
+
+These support two needs of the reproduction:
+
+1. building the paper's Figure-2 example network from its published
+   degree sequence (see :mod:`repro.network.topology_example`);
+2. verifying that generated PA topologies really are power-law
+   (``f(d) ~ d^-alpha``), which the convergence theorems assume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import Graph
+
+
+def is_graphical(degrees: Sequence[int]) -> bool:
+    """Erdős–Gallai test: can ``degrees`` be realised by a simple graph?
+
+    Parameters
+    ----------
+    degrees:
+        Proposed degree of every node (order irrelevant).
+
+    Examples
+    --------
+    >>> is_graphical([3, 3, 2, 2, 2])
+    True
+    >>> is_graphical([5, 1, 1, 1])  # node wants more neighbours than exist
+    False
+    """
+    seq = sorted((int(d) for d in degrees), reverse=True)
+    if any(d < 0 for d in seq):
+        return False
+    if sum(seq) % 2 != 0:
+        return False
+    n = len(seq)
+    prefix = 0
+    for k in range(1, n + 1):
+        prefix += seq[k - 1]
+        tail = sum(min(d, k) for d in seq[k:])
+        if prefix > k * (k - 1) + tail:
+            return False
+    return True
+
+
+def havel_hakimi_graph(degrees: Sequence[int]) -> Graph:
+    """Construct a simple graph realising ``degrees`` via Havel–Hakimi.
+
+    The construction is deterministic: at each step the node with the
+    largest remaining degree is connected to the next-largest ones.
+
+    Raises
+    ------
+    ValueError
+        If the sequence is not graphical.
+    """
+    if not is_graphical(degrees):
+        raise ValueError(f"degree sequence is not graphical: {list(degrees)!r}")
+    remaining: List[List[int]] = [[int(d), node] for node, d in enumerate(degrees)]
+    edges: List[Tuple[int, int]] = []
+    while True:
+        remaining.sort(key=lambda pair: (-pair[0], pair[1]))
+        head_degree, head_node = remaining[0]
+        if head_degree == 0:
+            break
+        if head_degree > len(remaining) - 1:
+            raise ValueError("sequence became non-graphical during construction")
+        for entry in remaining[1 : head_degree + 1]:
+            entry[0] -= 1
+            if entry[0] < 0:
+                raise ValueError("sequence became non-graphical during construction")
+            edges.append((head_node, entry[1]))
+        remaining[0][0] = 0
+    return Graph(len(list(degrees)), edges)
+
+
+def estimate_power_law_exponent(degrees: Sequence[int], d_min: int = 2) -> float:
+    """Maximum-likelihood estimate of the power-law exponent ``alpha``.
+
+    Uses the continuous-approximation Hill estimator
+
+    ``alpha = 1 + n / sum(ln(d_i / (d_min - 0.5)))``
+
+    over degrees ``>= d_min``. For PA graphs with ``m >= 2`` the estimate
+    should land near the theoretical exponent 3; empirical P2P networks
+    (Gnutella) report ``alpha ≈ 2.3``.
+
+    Parameters
+    ----------
+    degrees:
+        Observed degrees.
+    d_min:
+        Lower cut-off for the tail fit; degrees below it are ignored.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two degrees survive the ``d_min`` cut-off.
+    """
+    if d_min < 1:
+        raise ValueError(f"d_min must be >= 1, got {d_min}")
+    tail = np.asarray([d for d in degrees if d >= d_min], dtype=np.float64)
+    if tail.size < 2:
+        raise ValueError(f"need at least 2 degrees >= d_min={d_min} to fit a power law")
+    logs = np.log(tail / (d_min - 0.5))
+    total = float(logs.sum())
+    if total <= 0:
+        raise ValueError("degenerate degree tail (all degrees equal d_min)")
+    return 1.0 + tail.size / total
+
+
+def degree_ccdf(degrees: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical complementary CDF of the degree distribution.
+
+    Returns ``(values, ccdf)`` where ``ccdf[i] = P(D >= values[i])``.
+    Useful for log-log plots / tail-shape assertions in tests.
+    """
+    arr = np.asarray(sorted(degrees), dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("empty degree sequence")
+    values, first_index = np.unique(arr, return_index=True)
+    ccdf = 1.0 - first_index / arr.size
+    return values, ccdf
+
+
+def mean_degree(degrees: Sequence[int]) -> float:
+    """Arithmetic mean degree of the sequence."""
+    arr = np.asarray(list(degrees), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("empty degree sequence")
+    return float(arr.mean())
+
+
+def theoretical_pa_exponent() -> float:
+    """Exponent of the PA model's asymptotic degree law (``gamma = 3``)."""
+    return 3.0
+
+
+def log2_diameter_scale(num_nodes: int) -> float:
+    """``log2(N)`` — the diameter scale Theorem 5.1 assumes for PA components."""
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    return math.log2(num_nodes) if num_nodes > 1 else 0.0

@@ -1,0 +1,83 @@
+"""The paper's Figure-2 example network (10 nodes).
+
+Figure 2 is a drawing without an edge list, but Table 1 publishes the
+information that actually drives the algorithm: the degree sequence
+``4, 4, 7, 3, 3, 2, 2, 2, 3, 2`` and the resulting differential push
+counts ``k = 1, 1, 3, 1, 1, 1, 1, 1, 1, 1``. The hand-constructed edge
+list below realises *both* exactly:
+
+- node 2 (0-indexed; paper's node 3) is the hub with degree 7 and its
+  seven neighbours have mean degree 17/7 ≈ 2.43, so
+  ``k = round(7 / 2.43) = 3``;
+- every other node's degree/mean-neighbour-degree ratio rounds to 1 (or
+  is below 1, which the paper also maps to ``k = 1``).
+
+``tests/test_topology_example.py`` asserts the degree sequence and the k
+values against the published Table 1 header row.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.network.graph import Graph
+
+#: Paper Table 1, "degree" row (paper nodes 1..10 -> indices 0..9).
+EXAMPLE_DEGREES: Tuple[int, ...] = (4, 4, 7, 3, 3, 2, 2, 2, 3, 2)
+
+#: Paper Table 1, "k" row.
+EXAMPLE_K_VALUES: Tuple[int, ...] = (1, 1, 3, 1, 1, 1, 1, 1, 1, 1)
+
+#: Paper Table 1, "itr=1" row — the per-node values after the first gossip
+#: iteration. We reuse them as the *initial* direct-trust observations in
+#: the Table 1 experiment; their mean (~0.4498) is the value every node
+#: must converge to.
+EXAMPLE_INITIAL_VALUES: Tuple[float, ...] = (
+    0.5653,
+    0.3091,
+    0.3629,
+    0.4765,
+    0.3080,
+    0.6433,
+    0.0668,
+    0.6257,
+    0.4386,
+    0.7015,
+)
+
+# Edge list (0-indexed). Node 2 is the paper's hub "node 3".
+_EXAMPLE_EDGES: List[Tuple[int, int]] = [
+    # hub edges: node 2 <-> {3, 4, 5, 6, 7, 8, 9}
+    (2, 3),
+    (2, 4),
+    (2, 5),
+    (2, 6),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    # node 0 edges
+    (0, 1),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    # node 1 edges
+    (1, 6),
+    (1, 7),
+    (1, 8),
+    # closing edges
+    (3, 8),
+    (4, 9),
+]
+
+
+def example_network() -> Graph:
+    """Build the 10-node Figure-2 example network.
+
+    Returns
+    -------
+    Graph
+        Connected 10-node, 16-edge graph with degree sequence
+        :data:`EXAMPLE_DEGREES` and differential push counts
+        :data:`EXAMPLE_K_VALUES`.
+    """
+    return Graph(10, _EXAMPLE_EDGES)

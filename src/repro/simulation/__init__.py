@@ -1,0 +1,40 @@
+"""P2P file-sharing workload simulation.
+
+The paper motivates Differential Gossip Trust with a file-sharing
+network suffering free riding (Sections 1 and 3). This package builds
+that world so the examples and end-to-end tests can show the system
+*doing its job* — discriminating free riders, resisting whitewashing —
+rather than only aggregating synthetic matrices:
+
+- :mod:`repro.simulation.events` — a discrete-event scheduler;
+- :mod:`repro.simulation.workload` — Zipf content catalogue and file
+  placement;
+- :mod:`repro.simulation.peer` — behaviour profiles (cooperative, free
+  rider, whitewasher, colluder);
+- :mod:`repro.simulation.filesharing` — the simulation tying overlay,
+  workload, trust estimation and reputation-based service together.
+"""
+
+from repro.simulation.events import EventScheduler
+from repro.simulation.filesharing import FileSharingSimulation, SimulationConfig, SimulationReport
+from repro.simulation.peer import (
+    PeerProfile,
+    colluder_profile,
+    cooperative_profile,
+    free_rider_profile,
+    whitewasher_profile,
+)
+from repro.simulation.workload import FileCatalog
+
+__all__ = [
+    "EventScheduler",
+    "FileCatalog",
+    "PeerProfile",
+    "cooperative_profile",
+    "free_rider_profile",
+    "whitewasher_profile",
+    "colluder_profile",
+    "FileSharingSimulation",
+    "SimulationConfig",
+    "SimulationReport",
+]

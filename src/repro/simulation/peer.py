@@ -1,0 +1,126 @@
+"""Peer behaviour profiles.
+
+Section 3's rational peers "maximise downloads and minimise uploads";
+the behaviours below span that spectrum:
+
+- **cooperative** — shares a full library, serves willingly and well;
+- **free rider** — shares (almost) nothing and serves poorly on the
+  rare occasions it serves at all;
+- **whitewasher** — a free rider that periodically discards its
+  identity to shed its (deservedly bad) reputation;
+- **colluder** — serves its clique well and everyone else poorly, and
+  lies in its *reports* (handled by :mod:`repro.attacks.collusion`).
+
+A profile is data, not behaviour-by-subclassing: the simulation reads
+the knobs, which keeps profiles composable (a whitewashing colluder is
+just a profile with both fields set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class PeerProfile:
+    """Behavioural parameters of one peer.
+
+    Attributes
+    ----------
+    name:
+        Profile label used in reports ("cooperative", "free_rider"...).
+    serve_probability:
+        Probability of accepting a service request at full capability.
+        Declines still return a (failed, satisfaction-0) transaction —
+        the requester learns something either way.
+    service_quality:
+        Mean satisfaction delivered when serving (Beta-distributed
+        around this mean by the simulation).
+    sharing_fraction:
+        Fraction of the nominal library size this peer shares (drives
+        how often it is even *eligible* to serve).
+    whitewash_interval:
+        Discard identity every this many time units (``None`` = never).
+    collusion_group:
+        Id of the colluding clique this peer belongs to (``None`` =
+        honest reporter).
+    """
+
+    name: str
+    serve_probability: float
+    service_quality: float
+    sharing_fraction: float
+    whitewash_interval: Optional[float] = None
+    collusion_group: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.serve_probability, "serve_probability")
+        check_probability(self.service_quality, "service_quality")
+        check_probability(self.sharing_fraction, "sharing_fraction")
+        if self.whitewash_interval is not None and self.whitewash_interval <= 0:
+            raise ValueError(
+                f"whitewash_interval must be positive, got {self.whitewash_interval}"
+            )
+
+    @property
+    def is_free_riding(self) -> bool:
+        """Heuristic label: shares little and serves rarely."""
+        return self.sharing_fraction <= 0.2 and self.serve_probability <= 0.3
+
+
+def cooperative_profile(
+    *, serve_probability: float = 0.95, service_quality: float = 0.9
+) -> PeerProfile:
+    """A well-behaved peer: full library, reliable high-quality service."""
+    return PeerProfile(
+        name="cooperative",
+        serve_probability=serve_probability,
+        service_quality=service_quality,
+        sharing_fraction=1.0,
+    )
+
+
+def free_rider_profile(
+    *, serve_probability: float = 0.1, service_quality: float = 0.3
+) -> PeerProfile:
+    """A free rider: shares a token library, rarely serves, serves badly."""
+    return PeerProfile(
+        name="free_rider",
+        serve_probability=serve_probability,
+        service_quality=service_quality,
+        sharing_fraction=0.1,
+    )
+
+
+def whitewasher_profile(
+    *, whitewash_interval: float = 50.0, serve_probability: float = 0.1
+) -> PeerProfile:
+    """A free rider that sheds its identity every ``whitewash_interval``."""
+    return PeerProfile(
+        name="whitewasher",
+        serve_probability=serve_probability,
+        service_quality=0.3,
+        sharing_fraction=0.1,
+        whitewash_interval=whitewash_interval,
+    )
+
+
+def colluder_profile(group: int, *, service_quality: float = 0.4) -> PeerProfile:
+    """A colluding peer in clique ``group``.
+
+    Colluders serve mediocre quality to the open network (their real
+    value comes from the clique's mutual praise, injected at the
+    reporting layer by :mod:`repro.attacks.collusion`).
+    """
+    if group < 0:
+        raise ValueError(f"collusion group id must be >= 0, got {group}")
+    return PeerProfile(
+        name="colluder",
+        serve_probability=0.6,
+        service_quality=service_quality,
+        sharing_fraction=0.5,
+        collusion_group=group,
+    )

@@ -1,0 +1,142 @@
+"""Content catalogue and workload generation.
+
+File-sharing request popularity is famously heavy-tailed; the standard
+model (and the one consistent with the paper's Gnutella framing) is a
+Zipf distribution over a fixed catalogue: the ``r``-th most popular file
+is requested with probability proportional to ``r^-s``.
+
+Placement follows popularity too — popular files are replicated on many
+peers — with every file seeded on at least one peer so each request has
+at least one provider somewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class FileCatalog:
+    """Zipf-popular catalogue of ``num_files`` files (ids ``0..F-1``).
+
+    Parameters
+    ----------
+    num_files:
+        Catalogue size.
+    zipf_exponent:
+        Popularity skew ``s`` (0 = uniform; ~0.8–1.2 typical for P2P).
+
+    Examples
+    --------
+    >>> catalog = FileCatalog(100, zipf_exponent=1.0)
+    >>> bool(catalog.popularity[0] > catalog.popularity[99])
+    True
+    >>> float(catalog.popularity.sum()).__round__(9)
+    1.0
+    """
+
+    def __init__(self, num_files: int, *, zipf_exponent: float = 1.0):
+        if num_files < 1:
+            raise ValueError(f"num_files must be >= 1, got {num_files}")
+        if zipf_exponent < 0:
+            raise ValueError(f"zipf_exponent must be >= 0, got {zipf_exponent}")
+        self._num_files = int(num_files)
+        ranks = np.arange(1, num_files + 1, dtype=np.float64)
+        raw = ranks ** (-float(zipf_exponent))
+        self._popularity = raw / raw.sum()
+
+    @property
+    def num_files(self) -> int:
+        """Catalogue size."""
+        return self._num_files
+
+    @property
+    def popularity(self) -> np.ndarray:
+        """Request probability per file id (descending, sums to 1)."""
+        view = self._popularity.view()
+        view.flags.writeable = False
+        return view
+
+    def sample_request(self, rng: RngLike = None) -> int:
+        """Draw one requested file id from the popularity law."""
+        generator = as_generator(rng)
+        return int(generator.choice(self._num_files, p=self._popularity))
+
+    def sample_requests(self, size: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``size`` requested file ids."""
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        generator = as_generator(rng)
+        return generator.choice(self._num_files, size=size, p=self._popularity)
+
+    def place_files(
+        self,
+        num_peers: int,
+        *,
+        files_per_peer: float = 10.0,
+        sharing_fraction: np.ndarray = None,
+        rng: RngLike = None,
+    ) -> List[FrozenSet[int]]:
+        """Assign an initial library to every peer.
+
+        Each peer draws ``round(files_per_peer * sharing_fraction[p])``
+        files (popularity-weighted, without replacement per peer); then
+        any file held by nobody is seeded on one uniformly random peer,
+        so no request is globally unsatisfiable.
+
+        Parameters
+        ----------
+        num_peers:
+            Number of peers.
+        files_per_peer:
+            Mean library size for a fully sharing peer.
+        sharing_fraction:
+            Optional per-peer multiplier in [0, 1] — free riders share
+            little or nothing (their profile sets this near 0).
+        rng:
+            Seed / generator.
+        """
+        check_positive(files_per_peer, "files_per_peer")
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        generator = as_generator(rng)
+        if sharing_fraction is None:
+            sharing_fraction = np.ones(num_peers, dtype=np.float64)
+        sharing_fraction = np.asarray(sharing_fraction, dtype=np.float64)
+        if sharing_fraction.shape != (num_peers,):
+            raise ValueError(
+                f"sharing_fraction must have shape ({num_peers},), got {sharing_fraction.shape}"
+            )
+
+        libraries: List[Set[int]] = []
+        for peer in range(num_peers):
+            count = int(round(files_per_peer * float(sharing_fraction[peer])))
+            count = min(count, self._num_files)
+            if count <= 0:
+                libraries.append(set())
+                continue
+            files = generator.choice(
+                self._num_files, size=count, replace=False, p=self._popularity
+            )
+            libraries.append(set(int(f) for f in files))
+
+        held: Set[int] = set().union(*libraries) if libraries else set()
+        for file_id in range(self._num_files):
+            if file_id not in held:
+                libraries[int(generator.integers(num_peers))].add(file_id)
+        return [frozenset(lib) for lib in libraries]
+
+
+def holders_index(libraries: List[FrozenSet[int]]) -> Dict[int, List[int]]:
+    """Invert peer libraries into ``file id -> sorted list of holders``."""
+    index: Dict[int, List[int]] = {}
+    for peer, library in enumerate(libraries):
+        for file_id in library:
+            index.setdefault(file_id, []).append(peer)
+    for holders in index.values():
+        holders.sort()
+    return index

@@ -1,0 +1,37 @@
+"""Trust substrate: local trust values, estimators and reputation tables.
+
+The aggregation algorithms consume a sparse matrix of *local* trust
+values ``t_ij`` — node ``i``'s direct-interaction estimate of node ``j``,
+always in ``[0, 1]``. This package provides:
+
+- :class:`repro.trust.matrix.TrustMatrix` — the sparse ``N x N`` matrix
+  with the column/row views the aggregation variants need;
+- :mod:`repro.trust.estimation` — estimators that turn transaction
+  outcomes into ``t_ij`` (success-ratio, Beta posterior, BLUE-style
+  minimum-variance combination; the paper defers estimation to its
+  companion work [20], which we substitute here);
+- :class:`repro.trust.reputation_table.ReputationTable` — the per-node
+  table a peer maintains about the peers it has interacted with.
+"""
+
+from repro.trust.estimation import (
+    BetaTrustEstimator,
+    BlueTrustEstimator,
+    SuccessRatioEstimator,
+    TransactionOutcome,
+)
+from repro.trust.matrix import TrustMatrix, complete_trust_matrix, random_trust_matrix
+from repro.trust.newcomer_policy import DynamicNewcomerPolicy
+from repro.trust.reputation_table import ReputationTable
+
+__all__ = [
+    "TrustMatrix",
+    "random_trust_matrix",
+    "complete_trust_matrix",
+    "DynamicNewcomerPolicy",
+    "ReputationTable",
+    "TransactionOutcome",
+    "SuccessRatioEstimator",
+    "BetaTrustEstimator",
+    "BlueTrustEstimator",
+]

@@ -1,0 +1,202 @@
+"""Trust estimation from transaction outcomes.
+
+The paper treats estimation as a solved sub-problem (its companion work,
+"Trust estimation in peer-to-peer network using BLUE", ref. [20]) and
+only requires that every estimator emit ``t_ij`` in ``[0, 1]``. To keep
+the reproduction self-contained we implement three estimators that cover
+the design space:
+
+- :class:`SuccessRatioEstimator` — the classic smoothed success ratio;
+- :class:`BetaTrustEstimator` — Bayesian Beta-posterior mean, the
+  standard reputation estimator (Jøsang's beta reputation);
+- :class:`BlueTrustEstimator` — a Best-Linear-Unbiased-Estimator-style
+  minimum-variance combination of noisy satisfaction observations,
+  standing in for ref. [20].
+
+All estimators are incremental: feed them outcomes one at a time, read
+``estimate`` any time. They also support exponential forgetting so that
+behaviour *change* (a peer turning free rider) shows up in ``t_ij``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class TransactionOutcome:
+    """Result of one transaction with a peer.
+
+    Attributes
+    ----------
+    satisfaction:
+        Observed quality of service in ``[0, 1]`` (1 = perfect transfer).
+    variance:
+        Optional observation-noise variance, used by the BLUE estimator
+        to down-weight noisy observations (e.g. tiny transfers).
+    """
+
+    satisfaction: float
+    variance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_probability(self.satisfaction, "satisfaction")
+        if self.variance is not None:
+            check_positive(self.variance, "variance")
+
+
+class SuccessRatioEstimator:
+    """Smoothed success-ratio trust estimate.
+
+    ``t = (decayed satisfaction sum + prior) / (decayed count + 2*prior)``
+
+    With ``prior_strength = 0`` this is the raw mean satisfaction; a
+    positive prior pulls early estimates toward 0.5 so a single lucky
+    transaction does not saturate trust.
+
+    Parameters
+    ----------
+    decay:
+        Exponential forgetting factor in ``(0, 1]`` applied to history
+        before each new observation (1.0 = never forget).
+    prior_strength:
+        Pseudo-count weight of the 0.5 prior.
+    """
+
+    __slots__ = ("_decay", "_prior", "_weighted_sum", "_weighted_count")
+
+    def __init__(self, *, decay: float = 1.0, prior_strength: float = 0.0):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay!r}")
+        if prior_strength < 0:
+            raise ValueError(f"prior_strength must be >= 0, got {prior_strength!r}")
+        self._decay = float(decay)
+        self._prior = float(prior_strength)
+        self._weighted_sum = 0.0
+        self._weighted_count = 0.0
+
+    @property
+    def num_observations(self) -> float:
+        """Decayed observation count."""
+        return self._weighted_count
+
+    def record(self, outcome: TransactionOutcome) -> None:
+        """Fold one transaction outcome into the estimate."""
+        self._weighted_sum = self._weighted_sum * self._decay + outcome.satisfaction
+        self._weighted_count = self._weighted_count * self._decay + 1.0
+
+    @property
+    def estimate(self) -> float:
+        """Current trust estimate in ``[0, 1]`` (0.0 before any data, no prior)."""
+        numerator = self._weighted_sum + 0.5 * 2.0 * self._prior
+        denominator = self._weighted_count + 2.0 * self._prior
+        if denominator == 0.0:
+            return 0.0
+        return min(1.0, max(0.0, numerator / denominator))
+
+
+class BetaTrustEstimator:
+    """Beta-posterior mean over binarised transaction outcomes.
+
+    A transaction with satisfaction ``s`` contributes ``s`` fractional
+    success and ``1 - s`` fractional failure, generalising the classic
+    success/failure Beta update to graded outcomes:
+
+    ``t = (alpha + successes) / (alpha + beta + successes + failures)``
+
+    Parameters
+    ----------
+    alpha, beta:
+        Prior pseudo-counts. The paper's whitewashing defence wants new
+        identities to start at trust ~0, so the default prior is skewed
+        toward failure (``alpha=0, beta=1``); pass ``alpha=1, beta=1``
+        for the uninformed uniform prior.
+    decay:
+        Exponential forgetting factor in ``(0, 1]``.
+    """
+
+    __slots__ = ("_alpha0", "_beta0", "_decay", "_successes", "_failures")
+
+    def __init__(self, *, alpha: float = 0.0, beta: float = 1.0, decay: float = 1.0):
+        if alpha < 0 or beta < 0 or alpha + beta == 0:
+            raise ValueError(f"prior (alpha={alpha}, beta={beta}) must be non-negative and non-degenerate")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay!r}")
+        self._alpha0 = float(alpha)
+        self._beta0 = float(beta)
+        self._decay = float(decay)
+        self._successes = 0.0
+        self._failures = 0.0
+
+    def record(self, outcome: TransactionOutcome) -> None:
+        """Fold one transaction outcome into the posterior."""
+        self._successes = self._successes * self._decay + outcome.satisfaction
+        self._failures = self._failures * self._decay + (1.0 - outcome.satisfaction)
+
+    @property
+    def estimate(self) -> float:
+        """Posterior-mean trust in ``[0, 1]``."""
+        alpha = self._alpha0 + self._successes
+        beta = self._beta0 + self._failures
+        return alpha / (alpha + beta)
+
+    @property
+    def num_observations(self) -> float:
+        """Decayed observation count."""
+        return self._successes + self._failures
+
+
+class BlueTrustEstimator:
+    """Minimum-variance (BLUE-style) linear combination of observations.
+
+    Stands in for the estimator of ref. [20]: each observation ``x_k``
+    carries a noise variance ``sigma_k^2`` and the estimate is the
+    variance-weighted mean
+
+    ``t = (sum x_k / sigma_k^2) / (sum 1 / sigma_k^2)``,
+
+    which is the Best Linear Unbiased Estimator for a constant signal in
+    uncorrelated noise. Observations without an explicit variance use
+    ``default_variance``.
+
+    Parameters
+    ----------
+    default_variance:
+        Variance assumed for outcomes that do not specify one.
+    decay:
+        Exponential forgetting factor in ``(0, 1]`` applied to both
+        accumulators, so stale precision does not pin the estimate.
+    """
+
+    __slots__ = ("_default_variance", "_decay", "_weighted_sum", "_precision_sum")
+
+    def __init__(self, *, default_variance: float = 0.05, decay: float = 1.0):
+        check_positive(default_variance, "default_variance")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay!r}")
+        self._default_variance = float(default_variance)
+        self._decay = float(decay)
+        self._weighted_sum = 0.0
+        self._precision_sum = 0.0
+
+    def record(self, outcome: TransactionOutcome) -> None:
+        """Fold one transaction outcome into the combination."""
+        variance = outcome.variance if outcome.variance is not None else self._default_variance
+        precision = 1.0 / variance
+        self._weighted_sum = self._weighted_sum * self._decay + outcome.satisfaction * precision
+        self._precision_sum = self._precision_sum * self._decay + precision
+
+    @property
+    def estimate(self) -> float:
+        """Variance-weighted mean satisfaction (0.0 before any data)."""
+        if self._precision_sum == 0.0:
+            return 0.0
+        return min(1.0, max(0.0, self._weighted_sum / self._precision_sum))
+
+    @property
+    def num_observations(self) -> float:
+        """Sum of decayed precisions (effective evidence mass)."""
+        return self._precision_sum

@@ -1,0 +1,273 @@
+"""Sparse local trust matrix ``t_ij``.
+
+Section 4 of the paper defines an ``N x N`` matrix where ``t_ij`` is the
+trust node ``i`` places in node ``j`` from *direct interaction only*.
+The matrix is sparse — a node transacts with a tiny fraction of the
+network — so it is stored as a dict-of-dicts keyed by observer, with a
+parallel by-target index so that "who has opined about ``j``" (the set
+every gossip round starts from) is O(observers of j), not O(N^2).
+
+Absent entries mean "never interacted". The paper maps that to an
+initial trust of 0 to blunt whitewashing; the aggregation algorithms
+distinguish "no entry" (gossip weight 0) from "entry with value 0.0"
+(gossip weight 1), which is why the matrix keeps explicit zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.network.graph import Graph
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_probability, check_trust_value
+
+
+class TrustMatrix:
+    """Sparse ``N x N`` matrix of direct-interaction trust values.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of peers ``N``; valid ids are ``0 .. N-1``.
+
+    Examples
+    --------
+    >>> t = TrustMatrix(3)
+    >>> t.set(0, 1, 0.8)
+    >>> t.get(0, 1)
+    0.8
+    >>> t.get(1, 0)  # never interacted -> no trust
+    0.0
+    >>> sorted(t.observers_of(1))
+    [0]
+    """
+
+    __slots__ = ("_num_nodes", "_rows", "_by_target")
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+        self._rows: Dict[int, Dict[int, float]] = {}
+        self._by_target: Dict[int, set] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def set(self, observer: int, target: int, value: float) -> None:
+        """Record ``t_{observer,target} = value``.
+
+        Self-trust is rejected: a node has no use for an opinion about
+        itself and the gossip protocol never transports one.
+        """
+        self._check_pair(observer, target)
+        check_trust_value(value, f"t[{observer},{target}]")
+        self._rows.setdefault(observer, {})[target] = float(value)
+        self._by_target.setdefault(target, set()).add(observer)
+
+    def discard(self, observer: int, target: int) -> None:
+        """Remove the ``(observer, target)`` entry if present."""
+        row = self._rows.get(observer)
+        if row is not None and target in row:
+            del row[target]
+            if not row:
+                del self._rows[observer]
+            observers = self._by_target[target]
+            observers.discard(observer)
+            if not observers:
+                del self._by_target[target]
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Matrix dimension ``N``."""
+        return self._num_nodes
+
+    @property
+    def num_observations(self) -> int:
+        """Number of explicit ``t_ij`` entries."""
+        return sum(len(row) for row in self._rows.values())
+
+    def get(self, observer: int, target: int, default: float = 0.0) -> float:
+        """``t_{observer,target}``, or ``default`` if never interacted."""
+        if observer == target:
+            raise ValueError(f"self-trust t[{observer},{observer}] is undefined")
+        self._check_ids(observer, target)
+        return self._rows.get(observer, {}).get(target, default)
+
+    def has(self, observer: int, target: int) -> bool:
+        """Whether ``observer`` has an explicit opinion about ``target``."""
+        self._check_ids(observer, target)
+        return target in self._rows.get(observer, {})
+
+    def row(self, observer: int) -> Dict[int, float]:
+        """Copy of ``observer``'s opinions as ``{target: value}``."""
+        self._check_ids(observer)
+        return dict(self._rows.get(observer, {}))
+
+    def column(self, target: int) -> Dict[int, float]:
+        """All direct opinions about ``target`` as ``{observer: value}``."""
+        self._check_ids(target)
+        return {obs: self._rows[obs][target] for obs in self._by_target.get(target, ())}
+
+    def observers_of(self, target: int) -> frozenset:
+        """Set of nodes holding a direct opinion about ``target``."""
+        self._check_ids(target)
+        return frozenset(self._by_target.get(target, frozenset()))
+
+    def column_sum(self, target: int) -> float:
+        """``sum_i t_{i,target}`` over explicit observers."""
+        return float(sum(self.column(target).values()))
+
+    def column_mean_over_observers(self, target: int) -> float:
+        """Mean opinion about ``target`` over its observers (0.0 if none)."""
+        col = self.column(target)
+        return float(sum(col.values()) / len(col)) if col else 0.0
+
+    def column_mean_over_all(self, target: int) -> float:
+        """Mean opinion about ``target`` over *all* ``N`` nodes (eq. 1).
+
+        Non-observers contribute 0, matching the paper's
+        ``R_global = (1/N) t^T 1`` definition.
+        """
+        return self.column_sum(target) / self._num_nodes
+
+    def items(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate all entries as ``(observer, target, value)``."""
+        for observer, row in self._rows.items():
+            for target, value in row.items():
+                yield observer, target, value
+
+    # -- conversions ----------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(N, N)`` array with zeros for absent entries."""
+        dense = np.zeros((self._num_nodes, self._num_nodes), dtype=np.float64)
+        for observer, target, value in self.items():
+            dense[observer, target] = value
+        return dense
+
+    def observation_mask(self) -> np.ndarray:
+        """Boolean ``(N, N)`` array: True where an explicit entry exists."""
+        mask = np.zeros((self._num_nodes, self._num_nodes), dtype=bool)
+        for observer, target, _ in self.items():
+            mask[observer, target] = True
+        return mask
+
+    def copy(self) -> "TrustMatrix":
+        """Deep copy (attack models mutate copies, never originals)."""
+        clone = TrustMatrix(self._num_nodes)
+        for observer, target, value in self.items():
+            clone.set(observer, target, value)
+        return clone
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, mask: Optional[np.ndarray] = None) -> "TrustMatrix":
+        """Build from a dense array.
+
+        Parameters
+        ----------
+        dense:
+            Square array of trust values.
+        mask:
+            Optional boolean array selecting which entries are explicit
+            observations; defaults to the non-zero entries of ``dense``
+            (plus nothing on the diagonal).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValueError(f"dense trust matrix must be square, got shape {dense.shape}")
+        n = dense.shape[0]
+        if mask is None:
+            mask = dense != 0.0
+        matrix = cls(n)
+        for observer in range(n):
+            for target in np.nonzero(mask[observer])[0]:
+                if observer != target:
+                    matrix.set(observer, int(target), float(dense[observer, target]))
+        return matrix
+
+    # -- internals ------------------------------------------------------------
+
+    def _check_ids(self, *nodes: int) -> None:
+        for node in nodes:
+            if not 0 <= node < self._num_nodes:
+                raise ValueError(f"node id {node} outside 0..{self._num_nodes - 1}")
+
+    def _check_pair(self, observer: int, target: int) -> None:
+        self._check_ids(observer, target)
+        if observer == target:
+            raise ValueError(f"self-trust t[{observer},{observer}] is not allowed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrustMatrix(num_nodes={self._num_nodes}, num_observations={self.num_observations})"
+
+
+def complete_trust_matrix(num_nodes: int, *, rng: RngLike = None) -> TrustMatrix:
+    """Fully observed trust matrix: every ordered pair has an opinion.
+
+    Realises the paper's *heavily loaded* system model (Section 3) in the
+    limit — every peer has transacted with every other, so each target
+    has ``N - 1`` observers. Used by the collusion experiments, where a
+    sparse observation pattern would let single colluders zero out a
+    column and eq. 18's relative error would measure observation
+    scarcity rather than the attack.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+    generator = as_generator(rng)
+    matrix = TrustMatrix(num_nodes)
+    for observer in range(num_nodes):
+        values = generator.random(num_nodes)
+        for target in range(num_nodes):
+            if observer != target:
+                matrix.set(observer, target, float(values[target]))
+    return matrix
+
+
+def random_trust_matrix(
+    graph: Graph,
+    *,
+    edge_probability: float = 1.0,
+    extra_pairs: int = 0,
+    rng: RngLike = None,
+) -> TrustMatrix:
+    """Generate a plausible trust matrix over a topology.
+
+    Interaction follows the overlay: each adjacent pair has interacted
+    (and thus holds mutual opinions) with probability
+    ``edge_probability``; ``extra_pairs`` additional random non-adjacent
+    ordered pairs model past interactions with now-distant peers. Values
+    are uniform in ``[0, 1]``, the paper's admissible range.
+
+    Parameters
+    ----------
+    graph:
+        Overlay topology.
+    edge_probability:
+        Probability an edge carries mutual trust observations.
+    extra_pairs:
+        Number of additional random ordered observer/target pairs.
+    rng:
+        Seed / generator.
+    """
+    check_probability(edge_probability, "edge_probability")
+    if extra_pairs < 0:
+        raise ValueError(f"extra_pairs must be >= 0, got {extra_pairs}")
+    generator = as_generator(rng)
+    matrix = TrustMatrix(graph.num_nodes)
+    for u, v in graph.edges():
+        if edge_probability >= 1.0 or generator.random() < edge_probability:
+            matrix.set(u, v, float(generator.random()))
+            matrix.set(v, u, float(generator.random()))
+    placed = 0
+    while placed < extra_pairs:
+        observer = int(generator.integers(graph.num_nodes))
+        target = int(generator.integers(graph.num_nodes))
+        if observer == target:
+            continue
+        matrix.set(observer, target, float(generator.random()))
+        placed += 1
+    return matrix

@@ -1,0 +1,171 @@
+"""Per-node reputation table.
+
+Section 3: *"every node maintains a reputation table [of] the nodes with
+whom it has interacted. Whenever it receives a resource from some node,
+it adjusts the reputation of that node accordingly."*
+
+:class:`ReputationTable` is that table for one node: a mapping from peer
+id to an incremental trust estimator, plus the bookkeeping the gossip
+protocol needs — when an opinion last changed (the ``delta`` re-push
+rule of Algorithm 2) and when a peer was last heard from (stale opinions
+are dropped, Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.trust.estimation import SuccessRatioEstimator, TransactionOutcome
+
+EstimatorFactory = Callable[[], object]
+
+
+class ReputationTable:
+    """Direct-interaction trust table maintained by a single peer.
+
+    Parameters
+    ----------
+    owner:
+        Node id of the peer that owns this table (opinions about
+        ``owner`` itself are rejected).
+    estimator_factory:
+        Zero-argument callable producing a fresh estimator per peer.
+        Estimators must expose ``record(TransactionOutcome)`` and an
+        ``estimate`` property (see :mod:`repro.trust.estimation`).
+    stale_after:
+        Opinions about peers not heard from for this many clock units
+        are dropped by :meth:`prune_stale` (``None`` disables pruning).
+
+    Examples
+    --------
+    >>> table = ReputationTable(owner=0)
+    >>> table.record_transaction(3, TransactionOutcome(1.0), now=0.0)
+    >>> table.trust_of(3)
+    1.0
+    >>> table.trust_of(7)  # never interacted
+    0.0
+    """
+
+    def __init__(
+        self,
+        owner: int,
+        *,
+        estimator_factory: EstimatorFactory = SuccessRatioEstimator,
+        stale_after: Optional[float] = None,
+    ):
+        if owner < 0:
+            raise ValueError(f"owner must be a valid node id, got {owner}")
+        if stale_after is not None and stale_after <= 0:
+            raise ValueError(f"stale_after must be positive, got {stale_after}")
+        self._owner = int(owner)
+        self._estimator_factory = estimator_factory
+        self._stale_after = stale_after
+        self._estimators: Dict[int, object] = {}
+        self._last_heard: Dict[int, float] = {}
+        self._last_published: Dict[int, float] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    @property
+    def owner(self) -> int:
+        """Node id owning this table."""
+        return self._owner
+
+    def record_transaction(self, peer: int, outcome: TransactionOutcome, *, now: float = 0.0) -> None:
+        """Fold a transaction with ``peer`` into its trust estimate."""
+        if peer == self._owner:
+            raise ValueError(f"node {self._owner} cannot rate itself")
+        if peer < 0:
+            raise ValueError(f"peer must be a valid node id, got {peer}")
+        estimator = self._estimators.get(peer)
+        if estimator is None:
+            estimator = self._estimator_factory()
+            self._estimators[peer] = estimator
+        estimator.record(outcome)
+        self._last_heard[peer] = float(now)
+
+    def heard_from(self, peer: int, *, now: float) -> None:
+        """Refresh liveness for ``peer`` without a transaction (e.g. a gossip push)."""
+        if peer in self._estimators:
+            self._last_heard[peer] = float(now)
+
+    # -- queries --------------------------------------------------------------
+
+    def trust_of(self, peer: int) -> float:
+        """Direct trust in ``peer`` (0.0 if never interacted — the
+        whitewash-resistant initial value of Section 4.1.2)."""
+        estimator = self._estimators.get(peer)
+        return float(estimator.estimate) if estimator is not None else 0.0
+
+    def knows(self, peer: int) -> bool:
+        """Whether this table holds a direct opinion about ``peer``."""
+        return peer in self._estimators
+
+    def peers(self) -> frozenset:
+        """Set of peers with a direct opinion."""
+        return frozenset(self._estimators)
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(peer, trust)`` pairs."""
+        for peer, estimator in self._estimators.items():
+            yield peer, float(estimator.estimate)
+
+    def __len__(self) -> int:
+        return len(self._estimators)
+
+    # -- gossip-protocol support ----------------------------------------------
+
+    def opinion_changed_since_publish(self, peer: int, delta: float) -> bool:
+        """Whether the opinion about ``peer`` moved more than ``delta``
+        since the last :meth:`mark_published`.
+
+        Algorithm 2's pre-gossip phase re-pushes a feedback to neighbours
+        only when it changed "by more than some constant Δ" — this is
+        that test. A never-published opinion always counts as changed.
+        """
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if peer not in self._estimators:
+            return False
+        published = self._last_published.get(peer)
+        if published is None:
+            return True
+        return abs(self.trust_of(peer) - published) > delta
+
+    def mark_published(self, peer: int) -> None:
+        """Record that the current opinion about ``peer`` was pushed to neighbours."""
+        if peer in self._estimators:
+            self._last_published[peer] = self.trust_of(peer)
+
+    def forget(self, peer: int) -> bool:
+        """Drop the opinion about ``peer`` entirely (e.g. it whitewashed).
+
+        Returns whether an opinion existed. The next interaction starts
+        from scratch — exactly what a fresh identity looks like.
+        """
+        if peer not in self._estimators:
+            return False
+        del self._estimators[peer]
+        self._last_heard.pop(peer, None)
+        self._last_published.pop(peer, None)
+        return True
+
+    def prune_stale(self, *, now: float) -> frozenset:
+        """Drop opinions about peers not heard from within ``stale_after``.
+
+        Returns the set of dropped peer ids. Matches Section 4.1.2: *"If
+        node will not hear from a node for a long time, it will assume
+        that this node is no longer present and ... drop its feedback."*
+        """
+        if self._stale_after is None:
+            return frozenset()
+        dropped = {
+            peer
+            for peer, last in self._last_heard.items()
+            if now - last > self._stale_after
+        }
+        for peer in dropped:
+            del self._estimators[peer]
+            del self._last_heard[peer]
+            self._last_published.pop(peer, None)
+        return frozenset(dropped)

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded randomness, validation, ASCII tables.
+
+These helpers are deliberately small and dependency-free (numpy only) so
+that every other subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.rng import RngLike, as_generator, spawn_child
+from repro.utils.stats import SampleSummary, summarize
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_trust_value,
+)
+
+__all__ = [
+    "RngLike",
+    "as_generator",
+    "spawn_child",
+    "format_table",
+    "SampleSummary",
+    "summarize",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_trust_value",
+]

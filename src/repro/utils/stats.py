@@ -1,0 +1,82 @@
+"""Summary statistics for repeated stochastic measurements.
+
+Gossip step counts, RMS errors and message rates are random variables;
+single-seed numbers are anecdotes. The sweep utilities
+(:mod:`repro.analysis.sweeps`) repeat each configuration across seeds
+and report through :class:`SampleSummary` — mean, spread and a normal
+confidence half-width — so that experiment tables can carry error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean / spread summary of one measured quantity.
+
+    Attributes
+    ----------
+    count:
+        Number of samples.
+    mean:
+        Sample mean.
+    std:
+        Sample standard deviation (ddof=1; 0.0 for a single sample).
+    minimum, maximum:
+        Sample range.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation half-width of the mean's CI.
+
+        ``z = 1.96`` gives the conventional 95% interval; with tiny
+        sample counts this is an optimistic approximation, which is fine
+        for the error bars these tables carry.
+        """
+        if self.count <= 1:
+            return 0.0
+        return z * self.std / math.sqrt(self.count)
+
+    def format(self, precision: int = 3) -> str:
+        """Human-readable ``mean ± halfwidth`` rendering."""
+        return f"{self.mean:.{precision}f} ± {self.confidence_halfwidth():.{precision}f}"
+
+
+def summarize(samples: Sequence[float]) -> SampleSummary:
+    """Summarise a non-empty sequence of measurements.
+
+    Examples
+    --------
+    >>> s = summarize([1.0, 2.0, 3.0])
+    >>> s.mean
+    2.0
+    >>> s.minimum, s.maximum
+    (1.0, 3.0)
+    """
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return SampleSummary(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment harness prints the same rows the paper's tables report;
+this module owns the formatting so every experiment renders uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(cell: Cell, float_fmt: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return format(cell, float_fmt)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_fmt: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)``
+        cells. Floats are formatted with ``float_fmt``.
+    float_fmt:
+        ``format()`` spec applied to float cells (default 4 decimals, the
+        precision the paper's tables use).
+    title:
+        Optional title line rendered above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, newline-separated, without a trailing newline.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_render_cell(c, float_fmt) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} headers: {cells!r}"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(r[col]) for r in rendered) for col in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for idx, cells in enumerate(rendered):
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        if idx == 0:
+            lines.append(separator)
+    return "\n".join(lines)

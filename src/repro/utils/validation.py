@@ -1,0 +1,45 @@
+"""Input validation helpers.
+
+The library is the substrate for simulation experiments; a silently
+out-of-range trust value or probability would corrupt whole sweeps, so
+boundary checks fail fast with precise messages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(value: Number, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def check_probability(value: Number, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed interval [0, 1]."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_fraction(value: Number, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the half-open interval [0, 1).
+
+    Used for population fractions (e.g. fraction of colluding peers) where
+    1.0 would leave no honest peer and the experiment is degenerate.
+    """
+    if not math.isfinite(value) or not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must lie in [0, 1), got {value!r}")
+
+
+def check_trust_value(value: Number, name: str = "trust value") -> None:
+    """Raise ``ValueError`` unless ``value`` is a valid trust value in [0, 1].
+
+    The paper (Section 4) requires every trust value ``t_ij`` to lie
+    between 0 (no trust) and 1 (complete trust).
+    """
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")

@@ -1,0 +1,104 @@
+"""Unit tests for the adaptive weighting policy (the paper's extension)."""
+
+import pytest
+
+from repro.core.adaptive_weights import AdaptiveWeightPolicy
+from repro.core.weights import WeightParams
+
+
+class TestNetworkLoop:
+    def test_neutral_start(self):
+        policy = AdaptiveWeightPolicy(a_min=2.0, a_max=8.0)
+        # quality 0.5 -> midpoint base.
+        assert policy.a == pytest.approx(5.0)
+
+    def test_bad_service_raises_a(self):
+        policy = AdaptiveWeightPolicy()
+        before = policy.a
+        for _ in range(40):
+            policy.record_service_quality(0.0)
+        assert policy.a > before
+        assert policy.a == pytest.approx(policy.a_max, abs=0.1)
+
+    def test_good_service_lowers_a(self):
+        policy = AdaptiveWeightPolicy()
+        for _ in range(40):
+            policy.record_service_quality(1.0)
+        assert policy.a == pytest.approx(policy.a_min, abs=0.1)
+
+    def test_a_stays_in_range(self):
+        policy = AdaptiveWeightPolicy(a_min=1.5, a_max=3.0)
+        for q in (0.0, 1.0, 0.0, 1.0, 0.3):
+            policy.record_service_quality(q)
+            assert 1.5 <= policy.a <= 3.0
+
+    def test_rejects_bad_satisfaction(self):
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy().record_service_quality(1.5)
+
+
+class TestRecommendationLoop:
+    def test_unknown_neighbor_neutral(self):
+        policy = AdaptiveWeightPolicy()
+        assert policy.recommendation_accuracy(9) == 0.5
+
+    def test_accurate_recommender_earns_gain(self):
+        policy = AdaptiveWeightPolicy()
+        before = policy.b_for(3)
+        for _ in range(30):
+            policy.record_recommendation(3, recommended=0.8, experienced=0.8)
+        assert policy.b_for(3) > before
+
+    def test_misleading_recommender_loses_gain(self):
+        policy = AdaptiveWeightPolicy()
+        for _ in range(30):
+            policy.record_recommendation(3, recommended=1.0, experienced=0.0)
+        assert policy.b_for(3) == pytest.approx(policy.b_min, abs=0.05)
+
+    def test_per_neighbor_independence(self):
+        policy = AdaptiveWeightPolicy()
+        for _ in range(20):
+            policy.record_recommendation(1, 0.9, 0.9)
+            policy.record_recommendation(2, 0.9, 0.1)
+        assert policy.b_for(1) > policy.b_for(2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy().record_recommendation(1, 1.5, 0.5)
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy().record_recommendation(1, 0.5, -0.1)
+
+
+class TestComposition:
+    def test_params_for_is_valid_weight_params(self):
+        policy = AdaptiveWeightPolicy()
+        params = policy.params_for(4)
+        assert isinstance(params, WeightParams)
+        assert params.a >= 1.0
+        assert params.b >= 0.0
+
+    def test_weight_for_matches_formula(self):
+        policy = AdaptiveWeightPolicy()
+        expected = policy.params_for(4).weight(0.7)
+        assert policy.weight_for(4, 0.7) == pytest.approx(expected)
+
+    def test_malicious_recommender_weight_collapses(self):
+        # The conclusion's claim: adjusting a/b "avoids malicious users".
+        policy = AdaptiveWeightPolicy(b_min=0.0)
+        for _ in range(50):
+            policy.record_recommendation(5, recommended=1.0, experienced=0.0)
+        # Even full trust earns ~no amplification once recommendations
+        # proved worthless: w -> a^0 = 1.
+        assert policy.weight_for(5, 1.0) == pytest.approx(1.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy(a_min=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy(a_min=5.0, a_max=2.0)
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy(b_min=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy(b_min=2.0, b_max=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveWeightPolicy(smoothing=0.0)

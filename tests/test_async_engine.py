@@ -1,0 +1,86 @@
+"""Unit tests for the asynchronous (event-driven) gossip engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.async_engine import AsyncGossipEngine
+from repro.core.errors import ConvergenceError
+from repro.network.graph import Graph
+from repro.network.topology_example import example_network
+
+
+class TestAsyncGossip:
+    def test_converges_to_mean(self):
+        engine = AsyncGossipEngine(example_network(), rng=1)
+        values = np.arange(10.0)
+        out = engine.run(values, np.ones(10), xi=1e-6)
+        assert out.converged
+        assert np.allclose(out.estimates, 4.5, atol=1e-2)
+
+    def test_mass_conserved(self):
+        engine = AsyncGossipEngine(example_network(), rng=2)
+        values = np.arange(10.0)
+        out = engine.run(values, np.ones(10), xi=1e-5)
+        assert float(out.values.sum()) == pytest.approx(45.0, rel=1e-9)
+        assert float(out.weights.sum()) == pytest.approx(10.0, rel=1e-9)
+
+    def test_works_on_pa_graph(self, pa_graph_small):
+        n = pa_graph_small.num_nodes
+        values = np.random.default_rng(0).random(n)
+        engine = AsyncGossipEngine(pa_graph_small, rng=3)
+        out = engine.run(values, np.ones(n), xi=1e-6, quiet_window=4.0)
+        assert np.allclose(out.estimates, values.mean(), atol=5e-2)
+
+    def test_hubs_tick_faster(self, star5):
+        # The hub's rate is its differential count (4); leaves tick at 1.
+        engine = AsyncGossipEngine(star5, rng=4)
+        out = engine.run(np.arange(5.0), np.ones(5), xi=1e-5)
+        assert out.total_pushes > 0
+        assert out.converged
+
+    def test_time_budget_strict_raises(self):
+        engine = AsyncGossipEngine(example_network(), rng=5)
+        with pytest.raises(ConvergenceError):
+            engine.run(np.arange(10.0), np.ones(10), xi=1e-12, max_time=2.0)
+
+    def test_time_budget_lenient_returns_partial(self):
+        engine = AsyncGossipEngine(example_network(), rng=6)
+        out = engine.run(
+            np.arange(10.0), np.ones(10), xi=1e-12, max_time=2.0, strict=False
+        )
+        assert not out.converged
+        assert float(out.values.sum()) == pytest.approx(45.0, rel=1e-9)
+
+    def test_isolated_node_untouched(self):
+        g = Graph(3, [(0, 1)])
+        engine = AsyncGossipEngine(g, rng=7)
+        out = engine.run(np.array([2.0, 4.0, 9.0]), np.ones(3), xi=1e-6)
+        assert out.estimates[2] == pytest.approx(9.0)
+        assert np.allclose(out.estimates[:2], 3.0, atol=1e-2)
+
+    def test_deterministic_from_seed(self):
+        values = np.arange(10.0)
+        a = AsyncGossipEngine(example_network(), rng=42).run(values, np.ones(10), xi=1e-5)
+        b = AsyncGossipEngine(example_network(), rng=42).run(values, np.ones(10), xi=1e-5)
+        assert a.total_pushes == b.total_pushes
+        assert np.array_equal(a.values, b.values)
+
+    def test_validation(self):
+        engine = AsyncGossipEngine(example_network(), rng=8)
+        with pytest.raises(ValueError):
+            engine.run(np.ones(10), np.ones(10), xi=0.0)
+        with pytest.raises(ValueError):
+            AsyncGossipEngine(example_network(), push_counts=np.ones(3))
+
+    def test_agrees_with_sync_engine_limit(self, pa_graph_small):
+        from repro.core.vector_engine import VectorGossipEngine
+
+        n = pa_graph_small.num_nodes
+        values = np.random.default_rng(1).random(n)
+        sync = VectorGossipEngine(pa_graph_small, rng=9).run(values, np.ones(n), xi=1e-7)
+        async_out = AsyncGossipEngine(pa_graph_small, rng=10).run(
+            values, np.ones(n), xi=1e-6, quiet_window=4.0
+        )
+        assert np.allclose(
+            sync.estimates.mean(), async_out.estimates.mean(), atol=1e-2
+        )

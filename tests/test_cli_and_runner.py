@@ -1,0 +1,102 @@
+"""Tests for the experiment CLI, runner plumbing and collusion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.collusion import group_colluders
+from repro.experiments.__main__ import main
+from repro.experiments.collusion_common import (
+    build_world,
+    measure_collusion,
+    sweep_collusion,
+)
+from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "table2", "fig3", "fig4", "fig5", "fig6"):
+            assert experiment_id in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "node 10" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["table1", "--seed", "5"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_full_flag_sets_env(self, monkeypatch, capsys):
+        import os
+
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert main(["table1", "--full"]) == 0
+        assert os.environ.get("REPRO_FULL_SCALE") == "1"
+        os.environ.pop("REPRO_FULL_SCALE", None)
+
+
+class TestRunner:
+    def test_result_to_text(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="My Title",
+            headers=["a"],
+            rows=[[1.5]],
+            notes=["a note"],
+            elapsed_seconds=1.0,
+        )
+        text = result.to_text()
+        assert "My Title" in text
+        assert "note: a note" in text
+        assert "elapsed" in text
+
+    def test_stopwatch_measures(self):
+        with Stopwatch() as watch:
+            sum(range(1000))
+        assert watch.elapsed >= 0.0
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert full_scale_enabled()
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert not full_scale_enabled()
+        monkeypatch.delenv("REPRO_FULL_SCALE")
+        assert not full_scale_enabled()
+
+
+class TestCollusionCommon:
+    def test_build_world_dense_by_default(self):
+        graph, trust = build_world(30, seed=1)
+        assert trust.num_observations == 30 * 29
+
+    def test_build_world_sparse_option(self):
+        graph, trust = build_world(30, observations_per_node=2, seed=2)
+        assert trust.num_observations < 30 * 29
+
+    def test_measure_collusion_gossip_vs_exact(self):
+        graph, trust = build_world(60, seed=3)
+        attack = group_colluders(np.arange(12), 4)
+        exact = measure_collusion(graph, trust, attack, use_gossip=False)
+        gossip = measure_collusion(
+            graph, trust, attack, use_gossip=True, xi=1e-6, seed=4
+        )
+        assert exact[0] == pytest.approx(gossip[0], rel=0.1)
+
+    def test_sweep_shapes(self):
+        measurements = sweep_collusion(
+            50, fractions=(0.1, 0.3), group_sizes=(2, 5), use_gossip=False, seed=5
+        )
+        assert len(measurements) == 4
+        keys = {(m.group_size, m.fraction) for m in measurements}
+        assert keys == {(2, 0.1), (2, 0.3), (5, 0.1), (5, 0.3)}
+        for m in measurements:
+            assert m.rms_gclr >= 0.0
+            assert m.num_colluders == int(round(m.fraction * 50))

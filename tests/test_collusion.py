@@ -1,0 +1,122 @@
+"""Unit tests for the collusion attack models."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.collusion import (
+    CollusionAttack,
+    apply_collusion,
+    group_colluders,
+    individual_collusion,
+    select_colluders,
+)
+from repro.trust.matrix import TrustMatrix
+
+
+class TestCollusionAttack:
+    def test_groups_and_colluders(self):
+        attack = CollusionAttack(groups=((0, 1), (2,)))
+        assert attack.colluders == frozenset({0, 1, 2})
+        assert attack.num_colluders == 3
+        assert attack.group_of(1) == (0, 1)
+
+    def test_group_of_honest_raises(self):
+        attack = CollusionAttack(groups=((0, 1),))
+        with pytest.raises(KeyError):
+            attack.group_of(9)
+
+    def test_rejects_overlapping_groups(self):
+        with pytest.raises(ValueError, match="more than one"):
+            CollusionAttack(groups=((0, 1), (1, 2)))
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CollusionAttack(groups=((),))
+
+    def test_empty_attack(self):
+        attack = CollusionAttack()
+        assert attack.num_colluders == 0
+
+
+class TestSelectColluders:
+    def test_count_matches_fraction(self):
+        colluders = select_colluders(100, 0.3, rng=1)
+        assert colluders.size == 30
+        assert np.unique(colluders).size == 30
+
+    def test_respects_exclusions(self):
+        colluders = select_colluders(50, 0.5, rng=2, exclude=range(25))
+        assert all(c >= 25 for c in colluders)
+
+    def test_zero_fraction(self):
+        assert select_colluders(100, 0.0, rng=3).size == 0
+
+    def test_rejects_full_fraction(self):
+        with pytest.raises(ValueError):
+            select_colluders(100, 1.0)
+
+    def test_deterministic(self):
+        a = select_colluders(100, 0.2, rng=7)
+        b = select_colluders(100, 0.2, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestGroupColluders:
+    def test_even_partition(self):
+        attack = group_colluders(np.array([0, 1, 2, 3]), 2)
+        assert attack.groups == ((0, 1), (2, 3))
+
+    def test_remainder_forms_small_group(self):
+        attack = group_colluders(np.array([0, 1, 2, 3, 4]), 2)
+        assert attack.groups[-1] == (4,)
+        assert attack.num_colluders == 5
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            group_colluders(np.array([0]), 0)
+
+
+class TestApplyCollusion:
+    def test_praise_and_badmouth(self):
+        t = TrustMatrix(5)
+        t.set(0, 3, 0.9)  # colluder 0's honest opinion (to be wiped)
+        attack = CollusionAttack(groups=((0, 1),))
+        poisoned = apply_collusion(t, attack)
+        assert poisoned.get(0, 1) == 1.0  # praises group-mate
+        assert poisoned.get(1, 0) == 1.0
+        assert poisoned.get(0, 3) == 0.0  # badmouths the honest node
+        assert poisoned.has(0, 3)  # the 0 is an explicit report
+        assert poisoned.get(0, 4) == 0.0
+
+    def test_honest_rows_untouched(self):
+        t = TrustMatrix(4)
+        t.set(2, 0, 0.6)
+        attack = CollusionAttack(groups=((0, 1),))
+        poisoned = apply_collusion(t, attack)
+        assert poisoned.get(2, 0) == 0.6
+
+    def test_original_not_mutated(self):
+        t = TrustMatrix(4)
+        t.set(0, 2, 0.5)
+        apply_collusion(t, CollusionAttack(groups=((0, 1),)))
+        assert t.get(0, 2) == 0.5
+        assert t.num_observations == 1
+
+    def test_colluder_reports_about_everyone(self):
+        t = TrustMatrix(6)
+        attack = CollusionAttack(groups=((2, 3),))
+        poisoned = apply_collusion(t, attack)
+        assert len(poisoned.row(2)) == 5  # all but itself
+
+    def test_singleton_group_badmouths_only(self):
+        t = TrustMatrix(4)
+        poisoned = apply_collusion(t, CollusionAttack(groups=((1,),)))
+        row = poisoned.row(1)
+        assert all(v == 0.0 for v in row.values())
+
+
+class TestIndividualCollusion:
+    def test_builds_singleton_groups(self):
+        attack = individual_collusion(60, 0.2, rng=5)
+        assert all(len(g) == 1 for g in attack.groups)
+        assert attack.num_colluders == 12

@@ -1,0 +1,73 @@
+"""Unit tests for the collusion closed forms (eqs. 8-17)."""
+
+import pytest
+
+from repro.analysis.collusion_theory import (
+    breakeven_excess_weight,
+    damping_ratio,
+    expected_error_unweighted,
+    expected_error_weighted,
+    worst_case_inflation,
+)
+
+
+class TestUnweightedError:
+    def test_eq12_components(self):
+        # dR_old = -GC/N^2 + sum_C t / N
+        value = expected_error_unweighted(100, 20, 5, colluder_trust_sum=3.0)
+        assert value == pytest.approx(-(5 * 20) / 100**2 + 3.0 / 100)
+
+    def test_pure_inflation_when_no_withheld_trust(self):
+        value = expected_error_unweighted(100, 20, 5, colluder_trust_sum=0.0)
+        assert value == pytest.approx(-worst_case_inflation(100, 20, 5))
+
+    def test_grows_with_group_size(self):
+        small = expected_error_unweighted(100, 20, 2, 0.0)
+        large = expected_error_unweighted(100, 20, 10, 0.0)
+        assert abs(large) > abs(small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_error_unweighted(0, 0, 1, 0.0)
+        with pytest.raises(ValueError):
+            expected_error_unweighted(10, 20, 1, 0.0)  # C > N
+        with pytest.raises(ValueError):
+            expected_error_unweighted(10, 5, 0, 0.0)  # G < 1
+
+
+class TestDamping:
+    def test_eq17_ratio(self):
+        assert damping_ratio(100, 100.0) == pytest.approx(0.5)
+
+    def test_no_excess_no_damping(self):
+        assert damping_ratio(50, 0.0) == 1.0
+
+    def test_weighted_is_damped_unweighted(self):
+        old = expected_error_unweighted(200, 60, 5, 10.0)
+        new = expected_error_weighted(200, 60, 5, 10.0, total_excess_weight=100.0)
+        assert new == pytest.approx(damping_ratio(200, 100.0) * old)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            damping_ratio(0, 1.0)
+        with pytest.raises(ValueError):
+            damping_ratio(10, -5.0)
+
+
+class TestBreakeven:
+    def test_halving_requires_n_excess(self):
+        # damping = 0.5 <=> excess = N.
+        assert breakeven_excess_weight(100, 0.5) == pytest.approx(100.0)
+
+    def test_roundtrip(self):
+        n, reduction = 300, 0.25
+        excess = breakeven_excess_weight(n, reduction)
+        assert damping_ratio(n, excess) == pytest.approx(1.0 - reduction)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            breakeven_excess_weight(100, 0.0)
+        with pytest.raises(ValueError):
+            breakeven_excess_weight(100, 1.0)
+        with pytest.raises(ValueError):
+            breakeven_excess_weight(0, 0.5)

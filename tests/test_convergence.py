@@ -1,0 +1,127 @@
+"""Unit tests for the convergence/stop protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    ConvergenceProtocol,
+    deviation_scalar,
+    deviation_vector,
+)
+from repro.network.graph import Graph
+
+
+def all_true(n):
+    return np.ones(n, dtype=bool)
+
+
+class TestProtocolBasics:
+    def test_initial_state(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01)
+        assert not protocol.all_stopped
+        assert protocol.num_unconverged == 3
+        assert not protocol.converged.any()
+
+    def test_threshold_scales_with_components(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, num_components=50)
+        assert protocol.threshold == pytest.approx(0.5)
+
+    def test_rejects_bad_xi(self, triangle):
+        with pytest.raises(ValueError):
+            ConvergenceProtocol(triangle, xi=0.0)
+
+    def test_rejects_bad_patience(self, triangle):
+        with pytest.raises(ValueError):
+            ConvergenceProtocol(triangle, xi=0.1, patience=0)
+
+    def test_isolated_nodes_start_stopped(self):
+        g = Graph(3, [(0, 1)])
+        protocol = ConvergenceProtocol(g, xi=0.01)
+        assert protocol.stopped[2]
+        assert protocol.converged[2]
+
+
+class TestObserve:
+    def test_converges_on_small_deviation(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=1)
+        newly = protocol.observe(np.zeros(3), all_true(3))
+        assert sorted(newly) == [0, 1, 2]
+        assert protocol.all_stopped
+
+    def test_large_deviation_blocks(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=1)
+        newly = protocol.observe(np.full(3, 0.5), all_true(3))
+        assert newly.size == 0
+        assert not protocol.converged.any()
+
+    def test_no_external_input_blocks(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=1)
+        newly = protocol.observe(np.zeros(3), np.zeros(3, dtype=bool))
+        assert newly.size == 0
+
+    def test_undefined_ratio_blocks(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=1)
+        newly = protocol.observe(np.zeros(3), all_true(3), np.zeros(3, dtype=bool))
+        assert newly.size == 0
+
+    def test_stop_requires_neighbors(self, path4):
+        protocol = ConvergenceProtocol(path4, xi=0.01, patience=1)
+        deviations = np.array([0.0, 0.0, 1.0, 1.0])
+        protocol.observe(deviations, all_true(4))
+        # Nodes 0, 1 converged, but node 1's neighbour 2 has not.
+        assert protocol.converged[0] and protocol.converged[1]
+        assert protocol.stopped[0]  # its only neighbour (1) converged
+        assert not protocol.stopped[1]
+
+    def test_full_stop_after_everyone_converges(self, path4):
+        protocol = ConvergenceProtocol(path4, xi=0.01, patience=1)
+        protocol.observe(np.array([0.0, 0.0, 1.0, 1.0]), all_true(4))
+        protocol.observe(np.zeros(4), all_true(4))
+        assert protocol.all_stopped
+
+    def test_shape_validation(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01)
+        with pytest.raises(ValueError):
+            protocol.observe(np.zeros(5), all_true(3))
+        with pytest.raises(ValueError):
+            protocol.observe(np.zeros(3), all_true(3), np.zeros(5, dtype=bool))
+
+
+class TestPatience:
+    def test_patience_requires_streak(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=3)
+        assert protocol.observe(np.zeros(3), all_true(3)).size == 0
+        assert protocol.observe(np.zeros(3), all_true(3)).size == 0
+        assert protocol.observe(np.zeros(3), all_true(3)).size == 3
+
+    def test_failed_check_resets_streak(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=2)
+        protocol.observe(np.zeros(3), all_true(3))
+        protocol.observe(np.full(3, 1.0), all_true(3))  # reset
+        protocol.observe(np.zeros(3), all_true(3))
+        newly = protocol.observe(np.zeros(3), all_true(3))
+        assert newly.size == 3
+
+    def test_silent_step_preserves_streak(self, triangle):
+        # No external input: check skipped, streak neither grows nor resets.
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=2)
+        protocol.observe(np.zeros(3), all_true(3))
+        protocol.observe(np.full(3, 9.9), np.zeros(3, dtype=bool))  # silent
+        newly = protocol.observe(np.zeros(3), all_true(3))
+        assert newly.size == 3
+
+
+class TestDeviationHelpers:
+    def test_scalar(self):
+        out = deviation_scalar(np.array([1.0, 2.0]), np.array([1.5, 2.0]))
+        assert np.allclose(out, [0.5, 0.0])
+
+    def test_vector_sums_components(self):
+        new = np.array([[1.0, 2.0], [0.0, 0.0]])
+        old = np.array([[0.5, 1.0], [0.0, 0.0]])
+        out = deviation_vector(new, old)
+        assert np.allclose(out, [1.5, 0.0])
+
+    def test_vector_rejects_1d(self):
+        with pytest.raises(ValueError):
+            deviation_vector(np.zeros(3), np.zeros(3))

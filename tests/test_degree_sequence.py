@@ -1,0 +1,115 @@
+"""Unit tests for graphicality, Havel-Hakimi and power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.network.degree_sequence import (
+    degree_ccdf,
+    estimate_power_law_exponent,
+    havel_hakimi_graph,
+    is_graphical,
+    log2_diameter_scale,
+    mean_degree,
+    theoretical_pa_exponent,
+)
+from repro.network.topology_example import EXAMPLE_DEGREES
+
+
+class TestIsGraphical:
+    def test_simple_graphical(self):
+        assert is_graphical([2, 2, 2])  # triangle
+        assert is_graphical([3, 3, 2, 2, 2])
+        assert is_graphical(EXAMPLE_DEGREES)
+
+    def test_odd_sum_rejected(self):
+        assert not is_graphical([3, 2, 2])
+
+    def test_excessive_degree_rejected(self):
+        assert not is_graphical([5, 1, 1, 1])
+
+    def test_negative_rejected(self):
+        assert not is_graphical([2, -1, 1])
+
+    def test_all_zero_graphical(self):
+        assert is_graphical([0, 0, 0])
+
+    def test_empty_graphical(self):
+        assert is_graphical([])
+
+
+class TestHavelHakimi:
+    def test_realises_sequence(self):
+        degrees = [3, 3, 2, 2, 2]
+        g = havel_hakimi_graph(degrees)
+        assert sorted(map(int, g.degrees)) == sorted(degrees)
+
+    def test_realises_paper_sequence(self):
+        g = havel_hakimi_graph(EXAMPLE_DEGREES)
+        assert sorted(map(int, g.degrees)) == sorted(EXAMPLE_DEGREES)
+
+    def test_rejects_non_graphical(self):
+        with pytest.raises(ValueError, match="not graphical"):
+            havel_hakimi_graph([5, 1, 1, 1])
+
+    def test_zero_sequence(self):
+        g = havel_hakimi_graph([0, 0])
+        assert g.num_edges == 0
+
+    def test_result_is_simple(self):
+        g = havel_hakimi_graph([4, 4, 4, 4, 4, 4])
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+
+
+class TestPowerLawEstimation:
+    def test_recovers_synthetic_exponent(self, rng):
+        # Draw from a discrete Pareto with alpha = 2.5.
+        alpha = 2.5
+        u = rng.random(20000)
+        d_min = 2
+        degrees = np.floor(d_min * (1 - u) ** (-1 / (alpha - 1))).astype(int)
+        estimate = estimate_power_law_exponent(degrees, d_min=d_min)
+        assert estimate == pytest.approx(alpha, abs=0.3)
+
+    def test_rejects_tiny_tail(self):
+        with pytest.raises(ValueError):
+            estimate_power_law_exponent([1, 1, 1], d_min=5)
+
+    def test_all_equal_tail_gives_large_exponent(self):
+        # A tail with no spread looks like an extremely steep power law.
+        estimate = estimate_power_law_exponent([2, 2, 2], d_min=2)
+        assert estimate > 4.0
+
+    def test_rejects_bad_dmin(self):
+        with pytest.raises(ValueError):
+            estimate_power_law_exponent([2, 3], d_min=0)
+
+
+class TestCcdfAndHelpers:
+    def test_ccdf_starts_at_one(self):
+        values, ccdf = degree_ccdf([1, 2, 2, 3])
+        assert values[0] == 1
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_ccdf_monotone_decreasing(self):
+        _, ccdf = degree_ccdf([1, 1, 2, 3, 5, 8, 8])
+        assert all(a >= b for a, b in zip(ccdf, ccdf[1:]))
+
+    def test_ccdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            degree_ccdf([])
+
+    def test_mean_degree(self):
+        assert mean_degree([2, 4]) == pytest.approx(3.0)
+
+    def test_mean_degree_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_degree([])
+
+    def test_pa_exponent_constant(self):
+        assert theoretical_pa_exponent() == 3.0
+
+    def test_log2_diameter_scale(self):
+        assert log2_diameter_scale(1024) == pytest.approx(10.0)
+        assert log2_diameter_scale(1) == 0.0
+        with pytest.raises(ValueError):
+            log2_diameter_scale(0)

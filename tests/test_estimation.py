@@ -1,0 +1,154 @@
+"""Unit tests for the trust estimators."""
+
+import pytest
+
+from repro.trust.estimation import (
+    BetaTrustEstimator,
+    BlueTrustEstimator,
+    SuccessRatioEstimator,
+    TransactionOutcome,
+)
+
+
+class TestTransactionOutcome:
+    def test_valid(self):
+        outcome = TransactionOutcome(0.5, variance=0.1)
+        assert outcome.satisfaction == 0.5
+
+    def test_rejects_bad_satisfaction(self):
+        with pytest.raises(ValueError):
+            TransactionOutcome(1.5)
+        with pytest.raises(ValueError):
+            TransactionOutcome(-0.1)
+
+    def test_rejects_bad_variance(self):
+        with pytest.raises(ValueError):
+            TransactionOutcome(0.5, variance=0.0)
+
+
+class TestSuccessRatio:
+    def test_no_data_returns_zero(self):
+        # Paper: unknown peers start at trust 0 (whitewash defence).
+        assert SuccessRatioEstimator().estimate == 0.0
+
+    def test_mean_of_observations(self):
+        est = SuccessRatioEstimator()
+        for s in (1.0, 0.0, 0.5, 0.5):
+            est.record(TransactionOutcome(s))
+        assert est.estimate == pytest.approx(0.5)
+
+    def test_prior_pulls_to_half(self):
+        est = SuccessRatioEstimator(prior_strength=5.0)
+        est.record(TransactionOutcome(1.0))
+        assert 0.5 < est.estimate < 0.6
+
+    def test_decay_forgets_old_behaviour(self):
+        est = SuccessRatioEstimator(decay=0.5)
+        for _ in range(20):
+            est.record(TransactionOutcome(1.0))
+        for _ in range(5):
+            est.record(TransactionOutcome(0.0))
+        assert est.estimate < 0.1
+
+    def test_no_decay_keeps_history(self):
+        est = SuccessRatioEstimator(decay=1.0)
+        for _ in range(20):
+            est.record(TransactionOutcome(1.0))
+        for _ in range(5):
+            est.record(TransactionOutcome(0.0))
+        assert est.estimate == pytest.approx(0.8)
+
+    def test_bounds_respected(self):
+        est = SuccessRatioEstimator()
+        for _ in range(10):
+            est.record(TransactionOutcome(1.0))
+        assert est.estimate <= 1.0
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            SuccessRatioEstimator(decay=0.0)
+        with pytest.raises(ValueError):
+            SuccessRatioEstimator(decay=1.5)
+
+    def test_rejects_negative_prior(self):
+        with pytest.raises(ValueError):
+            SuccessRatioEstimator(prior_strength=-1)
+
+
+class TestBeta:
+    def test_default_prior_starts_at_zero(self):
+        # alpha=0, beta=1: fresh identities are untrusted.
+        assert BetaTrustEstimator().estimate == 0.0
+
+    def test_uniform_prior_starts_at_half(self):
+        assert BetaTrustEstimator(alpha=1.0, beta=1.0).estimate == 0.5
+
+    def test_converges_to_rate(self):
+        est = BetaTrustEstimator()
+        for _ in range(100):
+            est.record(TransactionOutcome(1.0))
+        assert est.estimate == pytest.approx(1.0, abs=0.02)
+
+    def test_graded_outcomes_split(self):
+        est = BetaTrustEstimator(alpha=0.0, beta=1.0)
+        est.record(TransactionOutcome(0.5))
+        # successes=0.5, failures=0.5 -> (0+0.5)/(0+1+0.5+0.5)
+        assert est.estimate == pytest.approx(0.25)
+
+    def test_num_observations(self):
+        est = BetaTrustEstimator()
+        est.record(TransactionOutcome(0.3))
+        est.record(TransactionOutcome(0.9))
+        assert est.num_observations == pytest.approx(2.0)
+
+    def test_rejects_degenerate_prior(self):
+        with pytest.raises(ValueError):
+            BetaTrustEstimator(alpha=0.0, beta=0.0)
+        with pytest.raises(ValueError):
+            BetaTrustEstimator(alpha=-1.0)
+
+    def test_decay(self):
+        est = BetaTrustEstimator(decay=0.5)
+        for _ in range(10):
+            est.record(TransactionOutcome(1.0))
+        est.record(TransactionOutcome(0.0))
+        assert est.estimate < 0.7
+
+
+class TestBlue:
+    def test_no_data_returns_zero(self):
+        assert BlueTrustEstimator().estimate == 0.0
+
+    def test_equal_variances_give_mean(self):
+        est = BlueTrustEstimator()
+        for s in (0.2, 0.8):
+            est.record(TransactionOutcome(s))
+        assert est.estimate == pytest.approx(0.5)
+
+    def test_low_variance_dominates(self):
+        est = BlueTrustEstimator()
+        est.record(TransactionOutcome(1.0, variance=0.001))
+        est.record(TransactionOutcome(0.0, variance=1.0))
+        assert est.estimate > 0.95
+
+    def test_matches_blue_formula(self):
+        est = BlueTrustEstimator()
+        observations = [(0.9, 0.01), (0.5, 0.05), (0.1, 0.2)]
+        for s, v in observations:
+            est.record(TransactionOutcome(s, variance=v))
+        numerator = sum(s / v for s, v in observations)
+        denominator = sum(1 / v for s, v in observations)
+        assert est.estimate == pytest.approx(numerator / denominator)
+
+    def test_rejects_bad_default_variance(self):
+        with pytest.raises(ValueError):
+            BlueTrustEstimator(default_variance=0.0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            BlueTrustEstimator(decay=2.0)
+
+    def test_estimate_clamped_to_unit_interval(self):
+        est = BlueTrustEstimator()
+        est.record(TransactionOutcome(1.0, variance=0.01))
+        assert 0.0 <= est.estimate <= 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simulation.events import EventScheduler
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda s: fired.append("c"))
+        sched.schedule(1.0, lambda s: fired.append("a"))
+        sched.schedule(2.0, lambda s: fired.append("b"))
+        assert sched.run() == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda s: fired.append("first"))
+        sched.schedule(1.0, lambda s: fired.append("second"))
+        sched.run()
+        assert fired == ["first", "second"]
+
+    def test_now_advances(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(5.0, lambda s: times.append(s.now))
+        sched.run()
+        assert times == [5.0]
+        assert sched.now == 5.0
+
+    def test_rejects_past_scheduling(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda s: None)
+        sched.run()
+        with pytest.raises(ValueError, match="before current time"):
+            sched.schedule(1.0, lambda s: None)
+
+    def test_rejects_nonfinite_time(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(float("inf"), lambda s: None)
+
+    def test_schedule_after(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(2.0, lambda s: s.schedule_after(3.0, lambda s2: times.append(s2.now)))
+        sched.run()
+        assert times == [5.0]
+
+    def test_schedule_after_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_after(-1.0, lambda s: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda s: fired.append("x"))
+        handle.cancel()
+        assert sched.run() == 0
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda s: None)
+        sched.schedule(2.0, lambda s: None)
+        assert sched.pending == 2
+        handle.cancel()
+        assert sched.pending == 1
+
+
+class TestRunControls:
+    def test_until_stops_early_and_advances_clock(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda s: fired.append(1))
+        sched.schedule(10.0, lambda s: fired.append(10))
+        count = sched.run(until=5.0)
+        assert count == 1
+        assert fired == [1]
+        assert sched.now == 5.0
+        # The late event is still pending.
+        assert sched.pending == 1
+
+    def test_max_events_caps_runaway(self):
+        sched = EventScheduler()
+
+        def reschedule(s):
+            s.schedule_after(1.0, reschedule)
+
+        sched.schedule(0.0, reschedule)
+        fired = sched.run(max_events=50)
+        assert fired == 50
+
+    def test_step_returns_none_when_empty(self):
+        assert EventScheduler().step() is None
+
+    def test_step_returns_time_and_result(self):
+        sched = EventScheduler()
+        sched.schedule(2.0, lambda s: "payload")
+        time, result = sched.step()
+        assert time == 2.0
+        assert result == "payload"
+
+    def test_events_scheduled_during_run_fire(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda s: s.schedule_after(1.0, lambda s2: fired.append("child")))
+        sched.run()
+        assert fired == ["child"]

@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run and say what they claim.
+
+The heavyweight simulation examples (free_riding, churn_tolerance,
+collusion_resistance) are exercised through their underlying modules in
+the integration tests; here the fast examples run end to end so a
+README copy-paste can never break silently.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "overlay: 500 peers" in out
+        assert "accuracy: max |gossip - exact|" in out
+
+    def test_example_network_trace(self, capsys):
+        out = run_example("example_network_trace.py", capsys)
+        assert "Table 1" in out
+        assert "node 3 is the hub" in out
+
+    def test_adaptive_weighting(self, capsys):
+        out = run_example("adaptive_weighting.py", capsys)
+        assert "liar" in out
+        assert "a_i rises" in out
+
+    def test_whitewashing_defence(self, capsys):
+        out = run_example("whitewashing_defence.py", capsys)
+        assert "whitewasher" in out
+        assert "zero initial trust (paper)" in out
+
+    @pytest.mark.parametrize(
+        "script",
+        ["free_riding.py", "collusion_resistance.py", "churn_tolerance.py"],
+    )
+    def test_heavy_examples_exist_and_compile(self, script):
+        path = EXAMPLES_DIR / script
+        source = path.read_text()
+        compile(source, str(path), "exec")
+        assert '__name__ == "__main__"' in source

@@ -1,0 +1,157 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import Graph, from_adjacency
+
+
+class TestConstruction:
+    def test_single_node(self):
+        g = Graph(1, [])
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_triangle_basics(self, triangle):
+        assert triangle.num_nodes == 3
+        assert triangle.num_edges == 3
+        assert all(triangle.degree(i) == 2 for i in range(3))
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            Graph(0, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="outside"):
+            Graph(3, [(0, 7)])
+
+    def test_edges_accepts_numpy_ints(self):
+        g = Graph(3, [(np.int64(0), np.int64(1))])
+        assert g.has_edge(0, 1)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, fig2_network):
+        for node in range(10):
+            nbrs = fig2_network.neighbors(node)
+            assert list(nbrs) == sorted(nbrs)
+
+    def test_neighbors_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.neighbors(0)[0] = 99
+
+    def test_degrees_readonly(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.degrees[0] = 99
+
+    def test_has_edge_symmetric(self, fig2_network):
+        for u in range(10):
+            for v in range(10):
+                assert fig2_network.has_edge(u, v) == fig2_network.has_edge(v, u)
+
+    def test_edges_iterates_once_each(self, fig2_network):
+        edges = list(fig2_network.edges())
+        assert len(edges) == fig2_network.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_degree_matches_neighbor_count(self, pa_graph_small):
+        for node in range(pa_graph_small.num_nodes):
+            assert pa_graph_small.degree(node) == len(pa_graph_small.neighbors(node))
+
+    def test_degree_sum_is_twice_edges(self, pa_graph_small):
+        assert int(pa_graph_small.degrees.sum()) == 2 * pa_graph_small.num_edges
+
+    def test_csr_arrays_consistent(self, pa_graph_small):
+        g = pa_graph_small
+        assert g.indptr.shape == (g.num_nodes + 1,)
+        assert g.indices.shape == (int(g.degrees.sum()),)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.indices.shape[0]
+
+
+class TestAverageNeighborDegree:
+    def test_star_hub(self, star5):
+        # Hub 0 has 4 leaves of degree 1 each.
+        assert star5.average_neighbor_degrees[0] == pytest.approx(1.0)
+        # Every leaf's only neighbour is the hub (degree 4).
+        for leaf in range(1, 5):
+            assert star5.average_neighbor_degrees[leaf] == pytest.approx(4.0)
+
+    def test_regular_graph_equals_degree(self, triangle):
+        assert np.allclose(triangle.average_neighbor_degrees, 2.0)
+
+    def test_isolated_node_zero(self):
+        g = Graph(3, [(0, 1)])
+        assert g.average_neighbor_degrees[2] == 0.0
+
+    def test_matches_bruteforce(self, pa_graph_small):
+        g = pa_graph_small
+        for node in range(g.num_nodes):
+            nbrs = g.neighbors(node)
+            expected = float(np.mean([g.degree(int(v)) for v in nbrs]))
+            assert g.average_neighbor_degrees[node] == pytest.approx(expected)
+
+
+class TestStructure:
+    def test_connected_triangle(self, triangle):
+        assert triangle.is_connected()
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert not g.is_connected()
+        components = g.connected_components()
+        assert components == [[0, 1], [2, 3]]
+
+    def test_single_node_connected(self):
+        assert Graph(1, []).is_connected()
+
+    def test_components_cover_all_nodes(self, pa_graph_small):
+        components = pa_graph_small.connected_components()
+        covered = sorted(node for comp in components for node in comp)
+        assert covered == list(range(pa_graph_small.num_nodes))
+
+    def test_diameter_path(self, path4):
+        assert path4.diameter_estimate() == 3
+
+    def test_diameter_rejects_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValueError, match="disconnected"):
+            g.diameter_estimate()
+
+    def test_degree_histogram(self, star5):
+        assert star5.degree_histogram() == {1: 4, 4: 1}
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self, triangle, path4):
+        assert triangle != path4
+
+
+class TestFromAdjacency:
+    def test_roundtrip(self, fig2_network):
+        adjacency = [list(map(int, fig2_network.neighbors(u))) for u in range(10)]
+        assert from_adjacency(adjacency) == fig2_network
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            from_adjacency([[1], []])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            from_adjacency([[0]])

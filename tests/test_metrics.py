@@ -1,0 +1,86 @@
+"""Unit tests for the error metrics (eq. 18 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    average_rms_error,
+    max_relative_error,
+    mean_relative_error,
+)
+
+
+class TestAverageRmsError:
+    def test_identical_matrices_zero(self):
+        r = np.full((3, 3), 0.5)
+        assert average_rms_error(r, r) == 0.0
+
+    def test_uniform_relative_offset(self):
+        observed = np.full((4, 5), 0.5)
+        reference = observed * 0.9
+        # (r - rhat)/r = 0.1 everywhere -> RMS = 0.1 in every row.
+        assert average_rms_error(observed, reference) == pytest.approx(0.1)
+
+    def test_rowwise_average(self):
+        observed = np.array([[1.0, 1.0], [1.0, 1.0]])
+        reference = np.array([[0.5, 0.5], [1.0, 1.0]])
+        # Row 0 RMS = 0.5, row 1 RMS = 0 -> average 0.25.
+        assert average_rms_error(observed, reference) == pytest.approx(0.25)
+
+    def test_zero_cells_excluded(self):
+        observed = np.array([[0.0, 1.0]])
+        reference = np.array([[9.9, 0.8]])
+        # Only the second cell is valid: rel err 0.2.
+        assert average_rms_error(observed, reference) == pytest.approx(0.2)
+
+    def test_all_zero_row_contributes_zero(self):
+        observed = np.array([[0.0, 0.0], [1.0, 1.0]])
+        reference = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert average_rms_error(observed, reference) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_rms_error(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            average_rms_error(np.zeros(3), np.zeros(3))
+
+    def test_matches_eq18_bruteforce(self, rng):
+        observed = rng.random((6, 8)) + 0.1
+        reference = rng.random((6, 8))
+        expected_rows = []
+        for i in range(6):
+            cells = [
+                ((observed[i, j] - reference[i, j]) / observed[i, j]) ** 2
+                for j in range(8)
+            ]
+            expected_rows.append(np.sqrt(np.mean(cells)))
+        assert average_rms_error(observed, reference) == pytest.approx(
+            float(np.mean(expected_rows))
+        )
+
+
+class TestRelativeErrors:
+    def test_max_relative(self):
+        estimates = np.array([1.1, 2.0])
+        truth = np.array([1.0, 2.0])
+        assert max_relative_error(estimates, truth) == pytest.approx(0.1)
+
+    def test_zero_truth_compares_absolutely(self):
+        assert max_relative_error(np.array([0.3]), np.array([0.0])) == pytest.approx(0.3)
+
+    def test_mean_relative(self):
+        estimates = np.array([1.1, 2.0])
+        truth = np.array([1.0, 2.0])
+        assert mean_relative_error(estimates, truth) == pytest.approx(0.05)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_relative_error(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(2), np.zeros(3))
+
+    def test_works_on_matrices(self, rng):
+        estimates = rng.random((4, 4))
+        assert max_relative_error(estimates, estimates) == 0.0

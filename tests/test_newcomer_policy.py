@@ -1,0 +1,59 @@
+"""Unit tests for the dynamic newcomer-trust policy."""
+
+import pytest
+
+from repro.trust.newcomer_policy import DynamicNewcomerPolicy
+
+
+class TestDynamicNewcomerPolicy:
+    def test_quiet_network_full_benefit(self):
+        policy = DynamicNewcomerPolicy(max_initial_trust=0.3)
+        assert policy.initial_trust() == pytest.approx(0.3)
+
+    def test_churn_decays_grant(self):
+        policy = DynamicNewcomerPolicy(max_initial_trust=0.3, window=50.0)
+        for _ in range(20):
+            policy.observe_join(now=10.0, population=100)
+        assert policy.initial_trust() < 0.1
+
+    def test_monotone_in_join_count(self):
+        policy = DynamicNewcomerPolicy()
+        grants = [policy.initial_trust()]
+        for i in range(5):
+            policy.observe_join(now=float(i), population=50)
+            grants.append(policy.initial_trust())
+        assert all(a >= b for a, b in zip(grants, grants[1:]))
+
+    def test_window_expiry_restores_grant(self):
+        policy = DynamicNewcomerPolicy(window=10.0)
+        for _ in range(10):
+            policy.observe_join(now=0.0, population=100)
+        depressed = policy.initial_trust(now=5.0)
+        restored = policy.initial_trust(now=100.0)  # all joins expired
+        assert restored > depressed
+        assert restored == pytest.approx(policy.max_initial_trust)
+
+    def test_join_rate(self):
+        policy = DynamicNewcomerPolicy(window=100.0)
+        for _ in range(5):
+            policy.observe_join(now=1.0, population=50)
+        assert policy.join_rate() == pytest.approx(0.1)
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError):
+            DynamicNewcomerPolicy().observe_join(now=0.0, population=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicNewcomerPolicy(max_initial_trust=1.5)
+        with pytest.raises(ValueError):
+            DynamicNewcomerPolicy(sensitivity=0.0)
+        with pytest.raises(ValueError):
+            DynamicNewcomerPolicy(window=-1.0)
+
+    def test_zero_policy_limit(self):
+        # With very high sensitivity the policy approaches the paper's
+        # hard-zero rule under any churn at all.
+        policy = DynamicNewcomerPolicy(max_initial_trust=0.3, sensitivity=1000.0)
+        policy.observe_join(now=0.0, population=100)
+        assert policy.initial_trust() < 0.001

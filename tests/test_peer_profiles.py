@@ -1,0 +1,57 @@
+"""Unit tests for peer behaviour profiles."""
+
+import pytest
+
+from repro.simulation.peer import (
+    PeerProfile,
+    colluder_profile,
+    cooperative_profile,
+    free_rider_profile,
+    whitewasher_profile,
+)
+
+
+class TestProfiles:
+    def test_cooperative_defaults(self):
+        profile = cooperative_profile()
+        assert profile.name == "cooperative"
+        assert profile.sharing_fraction == 1.0
+        assert not profile.is_free_riding
+
+    def test_free_rider_flagged(self):
+        assert free_rider_profile().is_free_riding
+
+    def test_whitewasher_is_free_rider_with_resets(self):
+        profile = whitewasher_profile(whitewash_interval=25.0)
+        assert profile.is_free_riding
+        assert profile.whitewash_interval == 25.0
+
+    def test_colluder_group_assignment(self):
+        profile = colluder_profile(group=3)
+        assert profile.collusion_group == 3
+        assert not profile.is_free_riding
+
+    def test_colluder_rejects_negative_group(self):
+        with pytest.raises(ValueError):
+            colluder_profile(group=-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerProfile("x", serve_probability=1.5, service_quality=0.5, sharing_fraction=0.5)
+        with pytest.raises(ValueError):
+            PeerProfile("x", serve_probability=0.5, service_quality=-0.1, sharing_fraction=0.5)
+        with pytest.raises(ValueError):
+            PeerProfile("x", serve_probability=0.5, service_quality=0.5, sharing_fraction=2.0)
+        with pytest.raises(ValueError):
+            PeerProfile(
+                "x",
+                serve_probability=0.5,
+                service_quality=0.5,
+                sharing_fraction=0.5,
+                whitewash_interval=0.0,
+            )
+
+    def test_frozen(self):
+        profile = cooperative_profile()
+        with pytest.raises(AttributeError):
+            profile.serve_probability = 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for the empirical potential-function instrument."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.potential import measure_potential_trajectory
+from repro.core.differential import fixed_push_counts
+from repro.network.preferential_attachment import preferential_attachment_graph
+
+
+class TestPotentialTrajectory:
+    def test_initial_potential_is_n_minus_one(self, fig2_network):
+        trajectory = measure_potential_trajectory(fig2_network, steps=0, rng=1)
+        assert trajectory.psi[0] == pytest.approx(9.0)  # N - 1 (eq. 28)
+
+    def test_mass_conservation_audit(self, fig2_network):
+        trajectory = measure_potential_trajectory(fig2_network, steps=15, rng=2)
+        # Proposition A.1: each origin's contributions sum to 1; weights to N.
+        assert np.allclose(trajectory.contribution_sums, 1.0)
+        assert trajectory.weight_sum == pytest.approx(10.0)
+
+    def test_potential_decays(self, fig2_network):
+        trajectory = measure_potential_trajectory(fig2_network, steps=20, rng=3)
+        assert trajectory.psi[-1] < trajectory.psi[0] / 10
+
+    def test_first_step_roughly_halves(self):
+        graph = preferential_attachment_graph(200, m=2, rng=4)
+        trajectory = measure_potential_trajectory(graph, steps=1, rng=5)
+        ratio = trajectory.psi[1] / trajectory.psi[0]
+        # p-push with p >= 1 contracts by at least ~1/2 in expectation.
+        assert ratio < 0.65
+
+    def test_differential_decays_no_slower_than_plain(self):
+        graph = preferential_attachment_graph(150, m=2, rng=6)
+        steps = 15
+        differential = measure_potential_trajectory(graph, steps, rng=7)
+        plain = measure_potential_trajectory(
+            graph, steps, push_counts=fixed_push_counts(graph, 1), rng=7
+        )
+        assert differential.psi[-1] <= plain.psi[-1] * 1.5  # noise margin
+
+    def test_rejects_negative_steps(self, fig2_network):
+        with pytest.raises(ValueError):
+            measure_potential_trajectory(fig2_network, steps=-1)
+
+    def test_rejects_bad_push_counts_shape(self, fig2_network):
+        with pytest.raises(ValueError):
+            measure_potential_trajectory(
+                fig2_network, steps=1, push_counts=np.array([1, 1])
+            )
+
+    def test_isolated_node_keeps_contribution(self):
+        from repro.network.graph import Graph
+
+        g = Graph(3, [(0, 1)])
+        trajectory = measure_potential_trajectory(g, steps=5, rng=8)
+        assert np.allclose(trajectory.contribution_sums, 1.0)

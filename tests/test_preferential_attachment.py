@@ -1,0 +1,100 @@
+"""Unit tests for the PA generator — the paper's only evaluation topology."""
+
+import numpy as np
+import pytest
+
+from repro.network.degree_sequence import estimate_power_law_exponent
+from repro.network.preferential_attachment import (
+    degree_proportional_sample,
+    expected_num_edges,
+    preferential_attachment_graph,
+)
+
+
+class TestGeneration:
+    def test_edge_count_matches_formula(self):
+        for n, m in [(10, 2), (50, 3), (200, 2)]:
+            g = preferential_attachment_graph(n, m=m, rng=0)
+            assert g.num_edges == expected_num_edges(n, m)
+
+    def test_always_connected(self):
+        for seed in range(5):
+            g = preferential_attachment_graph(100, m=2, rng=seed)
+            assert g.is_connected()
+
+    def test_min_degree_is_m(self):
+        g = preferential_attachment_graph(200, m=3, rng=1)
+        assert int(g.degrees.min()) >= 3
+
+    def test_reproducible_from_seed(self):
+        a = preferential_attachment_graph(80, m=2, rng=42)
+        b = preferential_attachment_graph(80, m=2, rng=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = preferential_attachment_graph(80, m=2, rng=1)
+        b = preferential_attachment_graph(80, m=2, rng=2)
+        assert a != b
+
+    def test_m1_gives_tree_plus_seed(self):
+        g = preferential_attachment_graph(50, m=1, rng=3)
+        # seed clique on 2 nodes is a single edge; each join adds one edge.
+        assert g.num_edges == 49
+        assert g.is_connected()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(5, m=0)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(2, m=2)
+
+    def test_simple_graph_no_duplicates(self):
+        # Graph constructor would raise on duplicates; surviving construction
+        # plus the degree identity is the witness.
+        g = preferential_attachment_graph(300, m=4, rng=9)
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+
+
+class TestPowerLawShape:
+    def test_heavy_tail_exists(self):
+        g = preferential_attachment_graph(2000, m=2, rng=7)
+        # A power-law graph must have hubs far above the mean degree (4).
+        assert int(g.degrees.max()) > 25
+
+    def test_exponent_in_plausible_band(self):
+        g = preferential_attachment_graph(5000, m=2, rng=11)
+        alpha = estimate_power_law_exponent(g.degrees, d_min=4)
+        # PA's asymptotic exponent is 3; finite-size MLE lands nearby.
+        assert 2.0 < alpha < 4.0
+
+    def test_most_nodes_low_degree(self):
+        g = preferential_attachment_graph(2000, m=2, rng=13)
+        frac_low = float(np.mean(g.degrees <= 4))
+        assert frac_low > 0.5
+
+
+class TestDegreeProportionalSample:
+    def test_prefers_hubs(self):
+        g = preferential_attachment_graph(500, m=2, rng=17)
+        sample = degree_proportional_sample(g, 4000, rng=18)
+        hub = int(np.argmax(g.degrees))
+        hub_rate = float(np.mean(sample == hub))
+        uniform_rate = 1.0 / g.num_nodes
+        assert hub_rate > 3 * uniform_rate
+
+    def test_size_zero(self, pa_graph_small):
+        assert degree_proportional_sample(pa_graph_small, 0, rng=1).size == 0
+
+    def test_rejects_negative_size(self, pa_graph_small):
+        with pytest.raises(ValueError):
+            degree_proportional_sample(pa_graph_small, -1)
+
+
+class TestExpectedNumEdges:
+    def test_formula(self):
+        # seed K3 has 3 edges, then 7 joins x 2 edges.
+        assert expected_num_edges(10, 2) == 3 + 14
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            expected_num_edges(2, 2)

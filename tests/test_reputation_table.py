@@ -1,0 +1,121 @@
+"""Unit tests for the per-node reputation table."""
+
+import pytest
+
+from repro.trust.estimation import BetaTrustEstimator, TransactionOutcome
+from repro.trust.reputation_table import ReputationTable
+
+
+class TestRecording:
+    def test_unknown_peer_trust_zero(self):
+        table = ReputationTable(owner=0)
+        assert table.trust_of(5) == 0.0
+        assert not table.knows(5)
+
+    def test_record_and_read(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(3, TransactionOutcome(1.0))
+        assert table.trust_of(3) == 1.0
+        assert table.knows(3)
+        assert len(table) == 1
+
+    def test_rejects_self_rating(self):
+        table = ReputationTable(owner=4)
+        with pytest.raises(ValueError, match="cannot rate itself"):
+            table.record_transaction(4, TransactionOutcome(1.0))
+
+    def test_rejects_negative_peer(self):
+        table = ReputationTable(owner=0)
+        with pytest.raises(ValueError):
+            table.record_transaction(-1, TransactionOutcome(1.0))
+
+    def test_rejects_bad_owner(self):
+        with pytest.raises(ValueError):
+            ReputationTable(owner=-1)
+
+    def test_custom_estimator_factory(self):
+        table = ReputationTable(owner=0, estimator_factory=lambda: BetaTrustEstimator(alpha=1, beta=1))
+        assert table.trust_of(1) == 0.0  # still unknown
+        table.record_transaction(1, TransactionOutcome(1.0))
+        assert table.trust_of(1) == pytest.approx(2 / 3)
+
+    def test_items_and_peers(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(1.0))
+        table.record_transaction(2, TransactionOutcome(0.0))
+        assert table.peers() == frozenset({1, 2})
+        assert dict(table.items()) == {1: 1.0, 2: 0.0}
+
+
+class TestPublishProtocol:
+    def test_never_published_counts_as_changed(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(0.5))
+        assert table.opinion_changed_since_publish(1, delta=0.1)
+
+    def test_unknown_peer_not_changed(self):
+        table = ReputationTable(owner=0)
+        assert not table.opinion_changed_since_publish(9, delta=0.1)
+
+    def test_small_move_below_delta(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(0.5))
+        table.mark_published(1)
+        table.record_transaction(1, TransactionOutcome(0.5))
+        assert not table.opinion_changed_since_publish(1, delta=0.1)
+
+    def test_large_move_above_delta(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(1.0))
+        table.mark_published(1)
+        for _ in range(5):
+            table.record_transaction(1, TransactionOutcome(0.0))
+        assert table.opinion_changed_since_publish(1, delta=0.1)
+
+    def test_rejects_negative_delta(self):
+        table = ReputationTable(owner=0)
+        with pytest.raises(ValueError):
+            table.opinion_changed_since_publish(1, delta=-0.5)
+
+
+class TestForgetAndPrune:
+    def test_forget_known(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(1.0))
+        assert table.forget(1)
+        assert not table.knows(1)
+        assert table.trust_of(1) == 0.0
+
+    def test_forget_unknown_returns_false(self):
+        table = ReputationTable(owner=0)
+        assert not table.forget(1)
+
+    def test_prune_stale_drops_old(self):
+        table = ReputationTable(owner=0, stale_after=10.0)
+        table.record_transaction(1, TransactionOutcome(1.0), now=0.0)
+        table.record_transaction(2, TransactionOutcome(1.0), now=95.0)
+        dropped = table.prune_stale(now=100.0)
+        assert dropped == frozenset({1})
+        assert not table.knows(1)
+        assert table.knows(2)
+
+    def test_prune_disabled_by_default(self):
+        table = ReputationTable(owner=0)
+        table.record_transaction(1, TransactionOutcome(1.0), now=0.0)
+        assert table.prune_stale(now=1e9) == frozenset()
+        assert table.knows(1)
+
+    def test_heard_from_refreshes_liveness(self):
+        table = ReputationTable(owner=0, stale_after=10.0)
+        table.record_transaction(1, TransactionOutcome(1.0), now=0.0)
+        table.heard_from(1, now=95.0)
+        assert table.prune_stale(now=100.0) == frozenset()
+
+    def test_heard_from_unknown_is_noop(self):
+        table = ReputationTable(owner=0, stale_after=10.0)
+        table.heard_from(42, now=5.0)
+        assert not table.knows(42)
+
+    def test_rejects_nonpositive_stale_after(self):
+        with pytest.raises(ValueError):
+            ReputationTable(owner=0, stale_after=0.0)

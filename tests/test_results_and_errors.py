@@ -1,0 +1,75 @@
+"""Unit tests for result records and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConvergenceError, GossipError, MassConservationError
+from repro.core.results import GossipOutcome
+from repro.core.state import UNDEFINED_RATIO
+
+
+def make_outcome(**overrides):
+    defaults = dict(
+        values=np.array([[2.0], [4.0]]),
+        weights=np.array([[1.0], [2.0]]),
+        extras={"count": np.array([[1.0], [1.0]])},
+        steps=10,
+        push_messages=30,
+        protocol_messages=12,
+        active_node_steps=18,
+        converged=np.array([True, True]),
+    )
+    defaults.update(overrides)
+    return GossipOutcome(**defaults)
+
+
+class TestGossipOutcome:
+    def test_estimates(self):
+        outcome = make_outcome()
+        assert np.allclose(outcome.estimates, [[2.0], [2.0]])
+
+    def test_estimates_sentinel(self):
+        outcome = make_outcome(weights=np.array([[0.0], [2.0]]))
+        assert outcome.estimates[0, 0] == UNDEFINED_RATIO
+
+    def test_extra_estimates(self):
+        outcome = make_outcome()
+        assert np.allclose(outcome.extra_estimates("count"), [[1.0], [0.5]])
+
+    def test_extra_estimates_unknown(self):
+        with pytest.raises(KeyError, match="count"):
+            make_outcome().extra_estimates("bogus")
+
+    def test_message_totals(self):
+        outcome = make_outcome()
+        assert outcome.total_messages == 42
+        assert outcome.messages_per_node_per_step == pytest.approx(42 / 18)
+        assert outcome.messages_per_node_per_wallclock_step == pytest.approx(42 / 20)
+
+    def test_zero_steps_metrics(self):
+        outcome = make_outcome(steps=0, active_node_steps=0)
+        assert outcome.messages_per_node_per_step == 0.0
+        assert outcome.messages_per_node_per_wallclock_step == 0.0
+
+    def test_shape_properties(self):
+        outcome = make_outcome()
+        assert outcome.num_nodes == 2
+        assert outcome.num_components == 1
+
+
+class TestErrorHierarchy:
+    def test_convergence_error_payload(self):
+        error = ConvergenceError(steps=17, unconverged=3)
+        assert error.steps == 17
+        assert error.unconverged == 3
+        assert "17" in str(error)
+        assert "3 nodes" in str(error)
+
+    def test_hierarchy(self):
+        assert issubclass(ConvergenceError, GossipError)
+        assert issubclass(MassConservationError, GossipError)
+        assert issubclass(GossipError, RuntimeError)
+
+    def test_catchable_as_gossip_error(self):
+        with pytest.raises(GossipError):
+            raise ConvergenceError(1, 1)

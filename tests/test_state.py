@@ -1,0 +1,90 @@
+"""Unit tests for gossip state primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import (
+    MASS_RTOL,
+    UNDEFINED_RATIO,
+    GossipPair,
+    assert_mass_conserved,
+    ratios,
+)
+
+
+class TestGossipPair:
+    def test_ratio(self):
+        assert GossipPair(3.0, 2.0).ratio() == 1.5
+
+    def test_zero_weight_sentinel(self):
+        assert GossipPair(1.0, 0.0).ratio() == UNDEFINED_RATIO
+
+    def test_split_conserves_mass(self):
+        pair = GossipPair(6.0, 3.0)
+        share = pair.split(3)
+        assert share.value * 3 == pytest.approx(6.0)
+        assert share.weight * 3 == pytest.approx(3.0)
+
+    def test_split_rejects_zero_shares(self):
+        with pytest.raises(ValueError):
+            GossipPair(1.0, 1.0).split(0)
+
+    def test_add(self):
+        total = GossipPair(1.0, 0.5) + GossipPair(2.0, 1.5)
+        assert total.value == 3.0
+        assert total.weight == 2.0
+
+    def test_iadd(self):
+        pair = GossipPair(1.0, 1.0)
+        pair += GossipPair(0.5, 0.25)
+        assert pair.value == 1.5
+        assert pair.weight == 1.25
+
+    def test_split_preserves_ratio(self):
+        pair = GossipPair(4.0, 2.0)
+        assert pair.split(5).ratio() == pair.ratio()
+
+
+class TestRatios:
+    def test_elementwise(self):
+        out = ratios(np.array([2.0, 3.0]), np.array([1.0, 2.0]))
+        assert np.allclose(out, [2.0, 1.5])
+
+    def test_sentinel_on_zero_weight(self):
+        out = ratios(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+        assert out[0] == UNDEFINED_RATIO
+        assert out[1] == 2.0
+
+    def test_2d(self):
+        values = np.array([[1.0, 0.0], [4.0, 2.0]])
+        weights = np.array([[2.0, 0.0], [2.0, 1.0]])
+        out = ratios(values, weights)
+        assert out[0, 0] == 0.5
+        assert out[0, 1] == UNDEFINED_RATIO
+        assert out[1, 1] == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            ratios(np.zeros(3), np.zeros(4))
+
+    def test_sentinel_outside_trust_range(self):
+        # Trust values live in [0, 1]; the sentinel must be distinguishable.
+        assert UNDEFINED_RATIO > 1.0
+
+
+class TestMassConservation:
+    def test_passes_when_conserved(self):
+        assert_mass_conserved(6.0, np.array([1.0, 2.0, 3.0]), label="y")
+
+    def test_fails_on_drift(self):
+        with pytest.raises(RuntimeError, match="not conserved"):
+            assert_mass_conserved(6.0, np.array([1.0, 2.0, 4.0]), label="y")
+
+    def test_tolerates_float_noise(self):
+        values = np.full(1000, 1.0 / 3.0)
+        assert_mass_conserved(1000 / 3.0, values, label="y")
+
+    def test_zero_total(self):
+        assert_mass_conserved(0.0, np.zeros(5), label="g")
+        with pytest.raises(RuntimeError):
+            assert_mass_conserved(0.0, np.array([MASS_RTOL * 10]), label="g")

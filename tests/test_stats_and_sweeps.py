@@ -1,0 +1,106 @@
+"""Unit tests for the statistics and sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import grid_sweep, replicate
+from repro.utils.stats import SampleSummary, summarize
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.confidence_halfwidth() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_confidence_halfwidth(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        expected = 1.96 * s.std / 2.0  # sqrt(4) = 2
+        assert s.confidence_halfwidth() == pytest.approx(expected)
+
+    def test_format(self):
+        text = summarize([1.0, 2.0]).format(2)
+        assert "±" in text
+        assert text.startswith("1.50")
+
+    def test_accepts_ints(self):
+        s = summarize([1, 2, 3])
+        assert isinstance(s, SampleSummary)
+        assert s.mean == 2.0
+
+
+class TestReplicate:
+    def test_collects_all_metrics(self):
+        out = replicate(lambda seed: {"a": 1.0, "b": 2.0}, repetitions=4, seed=0)
+        assert out["a"].count == 4
+        assert out["a"].mean == 1.0
+        assert out["b"].mean == 2.0
+
+    def test_seeds_differ_across_repetitions(self):
+        seeds = []
+        replicate(lambda s: (seeds.append(s), {"x": 0.0})[1], repetitions=5, seed=1)
+        assert len(set(seeds)) == 5
+
+    def test_deterministic_from_master_seed(self):
+        a = replicate(lambda s: {"x": float(s % 97)}, repetitions=3, seed=9)
+        b = replicate(lambda s: {"x": float(s % 97)}, repetitions=3, seed=9)
+        assert a["x"].mean == b["x"].mean
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 0.0}, repetitions=0)
+
+
+class TestGridSweep:
+    def test_cell_per_config(self):
+        cells = grid_sweep(
+            [(1,), (2,), (3,)],
+            lambda scale: (lambda seed: {"value": float(scale)}),
+            repetitions=2,
+            seed=0,
+        )
+        assert [cell.config for cell in cells] == [(1,), (2,), (3,)]
+        assert cells[1].metrics["value"].mean == 2.0
+
+    def test_multi_parameter_configs(self):
+        cells = grid_sweep(
+            [(2, 10), (3, 20)],
+            lambda a, b: (lambda seed: {"product": float(a * b)}),
+            repetitions=1,
+            seed=1,
+        )
+        assert cells[0].metrics["product"].mean == 20.0
+        assert cells[1].metrics["product"].mean == 60.0
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_sweep([], lambda: None)
+
+
+class TestXiAccuracyExperiment:
+    def test_error_tracks_xi(self):
+        from repro.experiments.xi_accuracy import run
+
+        result = run(num_nodes=150, xis=(1e-2, 1e-5), repetitions=2, seed=3)
+        # Parse the formatted "mean ± hw" cells back to floats.
+        loose = float(result.rows[0][2].split("±")[0])
+        tight = float(result.rows[1][2].split("±")[0])
+        assert tight < loose
+
+    def test_steps_grow_with_tighter_xi(self):
+        from repro.experiments.xi_accuracy import run
+
+        result = run(num_nodes=150, xis=(1e-2, 1e-5), repetitions=2, seed=4)
+        loose_steps = float(result.rows[0][3].split("±")[0])
+        tight_steps = float(result.rows[1][3].split("±")[0])
+        assert tight_steps > loose_steps

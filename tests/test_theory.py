@@ -1,0 +1,100 @@
+"""Unit tests for the convergence-theory bounds (Section 5.1, appendix)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    convergence_steps_bound,
+    potential_bound_sequence,
+    potential_closed_form,
+    potential_recurrence_bound,
+    psi_initial,
+    spread_steps_bound,
+    steps_to_reach_xi,
+)
+
+
+class TestSpreadBound:
+    def test_polylog_shape(self):
+        assert spread_steps_bound(1024) == pytest.approx(100.0)
+
+    def test_single_node_zero(self):
+        assert spread_steps_bound(1) == 0.0
+
+    def test_monotone_in_n(self):
+        values = [spread_steps_bound(n) for n in (10, 100, 1000, 10000)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spread_steps_bound(0)
+
+
+class TestConvergenceBound:
+    def test_additive_xi_term(self):
+        base = convergence_steps_bound(1024, 1.0)
+        tighter = convergence_steps_bound(1024, 2.0**-10)
+        assert tighter == pytest.approx(base + 10.0)
+
+    def test_rejects_bad_xi(self):
+        with pytest.raises(ValueError):
+            convergence_steps_bound(100, 0.0)
+
+
+class TestPotential:
+    def test_initial_value(self):
+        assert psi_initial(128) == 127.0
+        with pytest.raises(ValueError):
+            psi_initial(0)
+
+    def test_recurrence_single_step(self):
+        # eq. 27 at p=1: psi/2 + 1/16.
+        assert potential_recurrence_bound(10.0, p=1) == pytest.approx(5.0 + 1.0 / 16.0)
+
+    def test_recurrence_faster_for_larger_p(self):
+        assert potential_recurrence_bound(10.0, p=3) < potential_recurrence_bound(10.0, p=1)
+
+    def test_recurrence_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            potential_recurrence_bound(-1.0)
+        with pytest.raises(ValueError):
+            potential_recurrence_bound(1.0, p=0)
+
+    def test_closed_form_matches_telescoped_recurrence_floor(self):
+        # For large n the closed form approaches the 1/(4p(p+1)) floor.
+        floor = 1.0 / (4.0 * 1 * 2)
+        assert potential_closed_form(1000, 60, p=1) == pytest.approx(floor, abs=1e-9)
+
+    def test_closed_form_at_zero_steps(self):
+        assert potential_closed_form(100, 0, p=1) == pytest.approx(99.0 + 1.0 / 8.0)
+
+    def test_bound_sequence_decreasing_then_floored(self):
+        bounds = potential_bound_sequence(256, 40, p=1)
+        assert bounds[0] == 255.0
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] > 0.0  # never decays to exactly zero: the floor
+
+    def test_bound_sequence_dominated_by_closed_form(self):
+        bounds = potential_bound_sequence(256, 30, p=1)
+        for n, value in enumerate(bounds):
+            assert value <= potential_closed_form(256, n, p=1) + 1e-9
+
+    def test_bound_sequence_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            potential_bound_sequence(10, -1)
+
+
+class TestStepsToReachXi:
+    def test_matches_log_formula(self):
+        # n = log2(N-1) + log2(kd) + log2(1/xi), p=1.
+        n = steps_to_reach_xi(1025, xi=2.0**-6, kd=8.0)
+        expected = math.ceil(math.log2(1024) + 3 + 6)
+        assert n == expected
+
+    def test_trivial_network(self):
+        assert steps_to_reach_xi(1, xi=0.5) == 0
+
+    def test_rejects_bad_kd(self):
+        with pytest.raises(ValueError):
+            steps_to_reach_xi(100, xi=0.1, kd=1.0)

@@ -1,0 +1,46 @@
+"""The Figure-2 example network must match the paper's published rows."""
+
+import numpy as np
+import pytest
+
+from repro.core.differential import push_counts
+from repro.network.topology_example import (
+    EXAMPLE_DEGREES,
+    EXAMPLE_INITIAL_VALUES,
+    EXAMPLE_K_VALUES,
+    example_network,
+)
+
+
+class TestExampleNetwork:
+    def test_degree_row_matches_table1(self):
+        g = example_network()
+        assert tuple(map(int, g.degrees)) == EXAMPLE_DEGREES
+
+    def test_k_row_matches_table1(self):
+        g = example_network()
+        assert tuple(map(int, push_counts(g))) == EXAMPLE_K_VALUES
+
+    def test_ten_nodes_sixteen_edges(self):
+        g = example_network()
+        assert g.num_nodes == 10
+        assert g.num_edges == sum(EXAMPLE_DEGREES) // 2 == 16
+
+    def test_connected(self):
+        assert example_network().is_connected()
+
+    def test_hub_is_node_3(self):
+        g = example_network()
+        assert int(np.argmax(g.degrees)) == 2  # paper's node 3, 0-indexed
+        assert g.degree(2) == 7
+
+    def test_initial_values_are_valid_trust(self):
+        assert len(EXAMPLE_INITIAL_VALUES) == 10
+        assert all(0.0 <= v <= 1.0 for v in EXAMPLE_INITIAL_VALUES)
+
+    def test_initial_values_mean(self):
+        # The convergence target of the Table 1 experiment.
+        assert float(np.mean(EXAMPLE_INITIAL_VALUES)) == pytest.approx(0.44977)
+
+    def test_deterministic_construction(self):
+        assert example_network() == example_network()

@@ -1,0 +1,178 @@
+"""Unit tests for the sparse trust matrix."""
+
+import numpy as np
+import pytest
+
+from repro.trust.matrix import TrustMatrix, complete_trust_matrix, random_trust_matrix
+
+
+class TestBasics:
+    def test_set_get(self):
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.7)
+        assert t.get(0, 1) == 0.7
+        assert t.has(0, 1)
+
+    def test_absent_defaults_to_zero(self):
+        t = TrustMatrix(4)
+        assert t.get(1, 2) == 0.0
+        assert not t.has(1, 2)
+
+    def test_overwrite(self):
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.2)
+        t.set(0, 1, 0.9)
+        assert t.get(0, 1) == 0.9
+        assert t.num_observations == 1
+
+    def test_self_trust_rejected(self):
+        t = TrustMatrix(4)
+        with pytest.raises(ValueError, match="self-trust"):
+            t.set(2, 2, 0.5)
+        with pytest.raises(ValueError, match="self-trust"):
+            t.get(2, 2)
+
+    def test_out_of_range_rejected(self):
+        t = TrustMatrix(4)
+        with pytest.raises(ValueError):
+            t.set(0, 9, 0.5)
+        with pytest.raises(ValueError):
+            t.get(9, 0)
+
+    def test_value_out_of_bounds_rejected(self):
+        t = TrustMatrix(4)
+        with pytest.raises(ValueError):
+            t.set(0, 1, 1.5)
+        with pytest.raises(ValueError):
+            t.set(0, 1, -0.1)
+
+    def test_explicit_zero_is_an_observation(self):
+        # Critical for gossip: a reported 0 carries weight 1.
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.0)
+        assert t.has(0, 1)
+        assert 0 in t.observers_of(1)
+
+
+class TestViews:
+    def test_row_and_column(self):
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.5)
+        t.set(0, 2, 0.6)
+        t.set(3, 1, 0.7)
+        assert t.row(0) == {1: 0.5, 2: 0.6}
+        assert t.column(1) == {0: 0.5, 3: 0.7}
+        assert t.observers_of(1) == frozenset({0, 3})
+
+    def test_row_is_a_copy(self):
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.5)
+        row = t.row(0)
+        row[1] = 0.9
+        assert t.get(0, 1) == 0.5
+
+    def test_column_sums_and_means(self):
+        t = TrustMatrix(4)
+        t.set(0, 3, 0.4)
+        t.set(1, 3, 0.8)
+        assert t.column_sum(3) == pytest.approx(1.2)
+        assert t.column_mean_over_observers(3) == pytest.approx(0.6)
+        assert t.column_mean_over_all(3) == pytest.approx(0.3)
+
+    def test_empty_column_means(self):
+        t = TrustMatrix(4)
+        assert t.column_mean_over_observers(2) == 0.0
+        assert t.column_mean_over_all(2) == 0.0
+
+    def test_items_roundtrip(self):
+        t = TrustMatrix(5)
+        entries = {(0, 1, 0.1), (2, 3, 0.2), (4, 0, 0.3)}
+        for observer, target, value in entries:
+            t.set(observer, target, value)
+        assert set(t.items()) == entries
+
+
+class TestDiscard:
+    def test_discard_removes(self):
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.5)
+        t.discard(0, 1)
+        assert not t.has(0, 1)
+        assert t.observers_of(1) == frozenset()
+        assert t.num_observations == 0
+
+    def test_discard_absent_is_noop(self):
+        t = TrustMatrix(3)
+        t.discard(0, 1)
+        assert t.num_observations == 0
+
+
+class TestConversions:
+    def test_dense_roundtrip(self):
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.5)
+        t.set(2, 3, 0.25)
+        dense = t.to_dense()
+        assert dense.shape == (4, 4)
+        assert dense[0, 1] == 0.5
+        back = TrustMatrix.from_dense(dense)
+        assert set(back.items()) == set(t.items())
+
+    def test_from_dense_with_mask_keeps_zeros(self):
+        dense = np.zeros((3, 3))
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 1] = True
+        t = TrustMatrix.from_dense(dense, mask)
+        assert t.has(0, 1)
+        assert t.get(0, 1) == 0.0
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            TrustMatrix.from_dense(np.zeros((2, 3)))
+
+    def test_observation_mask(self):
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.0)
+        mask = t.observation_mask()
+        assert mask[0, 1]
+        assert mask.sum() == 1
+
+    def test_copy_is_independent(self):
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.5)
+        clone = t.copy()
+        clone.set(0, 1, 0.9)
+        assert t.get(0, 1) == 0.5
+
+
+class TestGenerators:
+    def test_random_edge_local(self, pa_graph_small):
+        t = random_trust_matrix(pa_graph_small, rng=0)
+        # Every edge yields mutual observations.
+        assert t.num_observations == 2 * pa_graph_small.num_edges
+        for observer, target, value in t.items():
+            assert 0.0 <= value <= 1.0
+
+    def test_random_with_edge_probability(self, pa_graph_small):
+        t = random_trust_matrix(pa_graph_small, edge_probability=0.0, rng=0)
+        assert t.num_observations == 0
+
+    def test_random_extra_pairs(self, pa_graph_small):
+        t = random_trust_matrix(pa_graph_small, edge_probability=0.0, extra_pairs=25, rng=0)
+        # Overwrites can collapse pairs, so <= 25 but > 0.
+        assert 0 < t.num_observations <= 25
+
+    def test_random_reproducible(self, pa_graph_small):
+        a = random_trust_matrix(pa_graph_small, rng=5)
+        b = random_trust_matrix(pa_graph_small, rng=5)
+        assert set(a.items()) == set(b.items())
+
+    def test_complete_matrix(self):
+        t = complete_trust_matrix(6, rng=1)
+        assert t.num_observations == 6 * 5
+        for target in range(6):
+            assert len(t.observers_of(target)) == 5
+
+    def test_complete_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            complete_trust_matrix(1)

@@ -1,0 +1,105 @@
+"""Unit tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_child
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_trust_value,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        assert as_generator(7).random() == as_generator(7).random()
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_spawn_child_independent(self):
+        parent = as_generator(1)
+        child_a = spawn_child(parent)
+        child_b = spawn_child(parent)
+        assert child_a.random() != child_b.random()
+
+    def test_spawn_child_deterministic(self):
+        a = spawn_child(as_generator(3), key=5).random()
+        b = spawn_child(as_generator(3), key=5).random()
+        assert a == b
+
+    def test_spawn_child_key_differentiates(self):
+        a = spawn_child(as_generator(3), key=1).random()
+        b = spawn_child(as_generator(3), key=2).random()
+        assert a != b
+
+
+class TestTables:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5000" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt=".2f")
+        assert "0.12" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_string_and_bool_cells(self):
+        text = format_table(["a", "b"], [["hi", True]])
+        assert "hi" in text and "True" in text
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive(0.1, "x")
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_check_probability(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_check_fraction(self):
+        check_fraction(0.0, "f")
+        check_fraction(0.99, "f")
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "f")
+
+    def test_check_trust_value(self):
+        check_trust_value(0.5)
+        with pytest.raises(ValueError):
+            check_trust_value(2.0)
+
+    def test_error_messages_name_the_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive(-1, "my_param")

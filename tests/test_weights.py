@@ -1,0 +1,98 @@
+"""Unit tests for the GCLR weighting scheme (eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    WeightParams,
+    collusion_damping_factor,
+    excess_weights,
+    weight_vector,
+)
+
+
+class TestWeightParams:
+    def test_stranger_weight_is_one(self):
+        assert WeightParams(a=4.0, b=1.0).weight(0.0) == 1.0
+
+    def test_full_trust_weight_is_base(self):
+        assert WeightParams(a=4.0, b=1.0).weight(1.0) == 4.0
+
+    def test_monotone_in_trust(self):
+        params = WeightParams(a=3.0, b=2.0)
+        weights = [params.weight(t) for t in np.linspace(0, 1, 11)]
+        assert all(w2 >= w1 for w1, w2 in zip(weights, weights[1:]))
+
+    def test_always_at_least_one(self):
+        params = WeightParams(a=2.5, b=0.7)
+        for t in np.linspace(0, 1, 21):
+            assert params.weight(float(t)) >= 1.0
+
+    def test_a_equal_one_disables_weighting(self):
+        params = WeightParams(a=1.0, b=5.0)
+        assert params.weight(0.9) == 1.0
+
+    def test_b_zero_disables_weighting(self):
+        params = WeightParams(a=9.0, b=0.0)
+        assert params.weight(0.9) == 1.0
+
+    def test_max_weight(self):
+        assert WeightParams(a=4.0, b=0.5).max_weight == pytest.approx(2.0)
+
+    def test_rejects_a_below_one(self):
+        with pytest.raises(ValueError):
+            WeightParams(a=0.5)
+
+    def test_rejects_negative_b(self):
+        with pytest.raises(ValueError):
+            WeightParams(b=-1.0)
+
+    def test_rejects_trust_out_of_range(self):
+        with pytest.raises(ValueError):
+            WeightParams().weight(1.5)
+
+
+class TestWeightVector:
+    def test_strangers_get_one(self):
+        weights = weight_vector(WeightParams(), {2: 0.5}, num_nodes=5)
+        assert weights.shape == (5,)
+        assert weights[0] == 1.0
+        assert weights[2] > 1.0
+
+    def test_matches_formula(self):
+        params = WeightParams(a=4.0, b=1.0)
+        weights = weight_vector(params, {1: 0.5}, num_nodes=3)
+        assert weights[1] == pytest.approx(4.0**0.5)
+
+    def test_rejects_out_of_range_peer(self):
+        with pytest.raises(ValueError):
+            weight_vector(WeightParams(), {9: 0.5}, num_nodes=5)
+
+
+class TestExcessWeights:
+    def test_skips_zero_trust(self):
+        # t=0 gives w=1, excess 0 -> omitted (eq. 6's sparsity).
+        excess = excess_weights(WeightParams(), {1: 0.0, 2: 0.5})
+        assert 1 not in excess
+        assert 2 in excess
+
+    def test_values_positive(self):
+        excess = excess_weights(WeightParams(), {1: 0.3, 2: 0.9})
+        assert all(v > 0 for v in excess.values())
+
+    def test_empty_row(self):
+        assert excess_weights(WeightParams(), {}) == {}
+
+
+class TestDampingFactor:
+    def test_no_excess_no_damping(self):
+        assert collusion_damping_factor(100, 0.0) == 1.0
+
+    def test_damping_below_one(self):
+        assert collusion_damping_factor(100, 50.0) == pytest.approx(100 / 150)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            collusion_damping_factor(0, 1.0)
+        with pytest.raises(ValueError):
+            collusion_damping_factor(10, -1.0)

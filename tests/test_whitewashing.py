@@ -1,0 +1,64 @@
+"""Unit tests for the whitewashing attack model."""
+
+import pytest
+
+from repro.attacks.whitewashing import WhitewashingModel
+from repro.trust.matrix import TrustMatrix
+
+
+class TestWhitewashing:
+    def test_erases_opinions_about_node(self):
+        t = TrustMatrix(4)
+        t.set(0, 2, 0.1)  # node 2 has earned a bad name
+        t.set(1, 2, 0.05)
+        model = WhitewashingModel()
+        model.whitewash(t, 2)
+        assert not t.has(0, 2)
+        assert not t.has(1, 2)
+        assert t.observers_of(2) == frozenset()
+
+    def test_outgoing_opinions_survive(self):
+        t = TrustMatrix(4)
+        t.set(2, 0, 0.9)
+        WhitewashingModel().whitewash(t, 2)
+        assert t.get(2, 0) == 0.9
+
+    def test_zero_policy_means_stranger(self):
+        # Paper's defence: newcomer trust 0 -> no entries at all.
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.2)
+        WhitewashingModel(newcomer_trust=0.0).whitewash(t, 1)
+        assert not t.has(0, 1)
+        assert t.get(0, 1) == 0.0
+
+    def test_naive_policy_grants_benefit_of_doubt(self):
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.05)
+        WhitewashingModel(newcomer_trust=0.5).whitewash(t, 1)
+        assert t.get(0, 1) == 0.5  # the whitewasher profited!
+
+    def test_zero_policy_removes_whitewashing_gain(self):
+        # The core claim: under the 0 policy, a reset never raises trust.
+        t = TrustMatrix(3)
+        t.set(0, 1, 0.05)
+        before = t.get(0, 1)
+        WhitewashingModel(newcomer_trust=0.0).whitewash(t, 1)
+        assert t.get(0, 1) <= before
+
+    def test_reset_counting(self):
+        t = TrustMatrix(3)
+        model = WhitewashingModel()
+        model.whitewash(t, 1)
+        model.whitewash(t, 1)
+        model.whitewash(t, 2)
+        assert model.total_resets() == 3
+        assert model.reset_counts[1] == 2
+        assert model.serial_whitewashers(threshold=2) == [1]
+
+    def test_serial_threshold_validation(self):
+        with pytest.raises(ValueError):
+            WhitewashingModel().serial_whitewashers(threshold=0)
+
+    def test_rejects_bad_newcomer_trust(self):
+        with pytest.raises(ValueError):
+            WhitewashingModel(newcomer_trust=1.5)

@@ -1,0 +1,88 @@
+"""Unit tests for the Zipf catalogue and file placement."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.workload import FileCatalog, holders_index
+
+
+class TestFileCatalog:
+    def test_popularity_normalised(self):
+        catalog = FileCatalog(50, zipf_exponent=1.0)
+        assert float(catalog.popularity.sum()) == pytest.approx(1.0)
+
+    def test_popularity_descending(self):
+        catalog = FileCatalog(50, zipf_exponent=1.2)
+        pop = catalog.popularity
+        assert all(a >= b for a, b in zip(pop, pop[1:]))
+
+    def test_zero_exponent_uniform(self):
+        catalog = FileCatalog(10, zipf_exponent=0.0)
+        assert np.allclose(catalog.popularity, 0.1)
+
+    def test_sample_respects_skew(self):
+        catalog = FileCatalog(100, zipf_exponent=1.5)
+        samples = catalog.sample_requests(5000, rng=1)
+        top_fraction = float(np.mean(samples < 10))
+        assert top_fraction > 0.5
+
+    def test_sample_single(self):
+        catalog = FileCatalog(5)
+        file_id = catalog.sample_request(rng=2)
+        assert 0 <= file_id < 5
+
+    def test_sample_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FileCatalog(5).sample_requests(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FileCatalog(0)
+        with pytest.raises(ValueError):
+            FileCatalog(10, zipf_exponent=-1.0)
+
+
+class TestPlacement:
+    def test_every_file_held_somewhere(self):
+        catalog = FileCatalog(80)
+        libraries = catalog.place_files(20, files_per_peer=5.0, rng=3)
+        held = set().union(*libraries)
+        assert held == set(range(80))
+
+    def test_sharing_fraction_shrinks_library(self):
+        catalog = FileCatalog(200)
+        sharing = np.array([1.0] * 10 + [0.0] * 10)
+        libraries = catalog.place_files(20, files_per_peer=10.0, sharing_fraction=sharing, rng=4)
+        full_sizes = [len(lib) for lib in libraries[:10]]
+        empty_sizes = [len(lib) for lib in libraries[10:]]
+        # Non-sharers hold only orphan-file seeds.
+        assert np.mean(full_sizes) > np.mean(empty_sizes)
+
+    def test_library_count_matches_peers(self):
+        catalog = FileCatalog(30)
+        libraries = catalog.place_files(7, rng=5)
+        assert len(libraries) == 7
+
+    def test_rejects_bad_shape(self):
+        catalog = FileCatalog(30)
+        with pytest.raises(ValueError):
+            catalog.place_files(5, sharing_fraction=np.ones(3))
+
+    def test_rejects_zero_peers(self):
+        with pytest.raises(ValueError):
+            FileCatalog(10).place_files(0)
+
+    def test_deterministic(self):
+        catalog = FileCatalog(40)
+        a = catalog.place_files(10, rng=6)
+        b = catalog.place_files(10, rng=6)
+        assert a == b
+
+
+class TestHoldersIndex:
+    def test_inverts_libraries(self):
+        libraries = [frozenset({0, 1}), frozenset({1}), frozenset()]
+        index = holders_index(libraries)
+        assert index[0] == [0]
+        assert index[1] == [0, 1]
+        assert 2 not in index
