@@ -1,0 +1,135 @@
+"""Benchmark: sparse CSR engine vs dense vector engine, head to head.
+
+Runs both engines over the same preferential-attachment topology for a
+fixed step budget (``run_to_max`` removes stop-protocol noise from the
+timing) and records wall-clock, per-step cost and the speedup ratio in
+``BENCH_sparse.json`` — the perf artifact CI uploads on every run so
+regressions in either engine's hot path are visible in one number.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_vs_dense.py \
+        [--n 50000] [--steps 30] [--repeats 3] [--out BENCH_sparse.json]
+
+The script also cross-checks that both engines land on the same
+estimates (they must agree on the fully-mixed fixpoint), so a speedup
+obtained by computing the wrong thing fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.sparse_engine import SparseGossipEngine
+from repro.core.vector_engine import VectorGossipEngine
+from repro.network.preferential_attachment import preferential_attachment_graph
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> tuple:
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmark(
+    n: int = 50_000,
+    *,
+    m: int = 2,
+    steps: int = 30,
+    repeats: int = 3,
+    seed: int = 2016,
+) -> Dict[str, object]:
+    """Time both engines and return the benchmark record."""
+    build_start = time.perf_counter()
+    graph = preferential_attachment_graph(n, m=m, rng=seed)
+    graph_seconds = time.perf_counter() - build_start
+    values = np.random.default_rng(seed + 1).random(n)
+    weights = np.ones(n)
+
+    def dense_run():
+        return VectorGossipEngine(graph, rng=seed + 2).run(
+            values, weights, xi=1e-12, max_steps=steps, run_to_max=True
+        )
+
+    def sparse_run():
+        return SparseGossipEngine(graph, rng=seed + 3).run(
+            values, weights, xi=1e-12, max_steps=steps, run_to_max=True
+        )
+
+    dense_seconds, dense_out = _best_of(repeats, dense_run)
+    sparse_seconds, sparse_out = _best_of(repeats, sparse_run)
+
+    # Guard against benchmarking a broken engine: both runs mix toward
+    # the same mean, so after the burn each must have made comparable
+    # progress from the initial spread (full 1e-8 agreement is the
+    # integration suite's job — a 30-step burn is not yet mixed).
+    true_mean = float(values.mean())
+    spread = float(np.abs(values - true_mean).max())
+    dense_error = float(np.abs(dense_out.estimates - true_mean).max())
+    sparse_error = float(np.abs(sparse_out.estimates - true_mean).max())
+    for label, error in (("dense", dense_error), ("sparse", sparse_error)):
+        if not np.isfinite(error) or error >= spread:
+            raise AssertionError(
+                f"{label} engine made no mixing progress in {steps} steps "
+                f"(max error {error} vs initial spread {spread})"
+            )
+
+    return {
+        "benchmark": "sparse_vs_dense",
+        "n": n,
+        "m": m,
+        "steps": steps,
+        "repeats": repeats,
+        "seed": seed,
+        "num_edges": graph.num_edges,
+        "graph_build_seconds": round(graph_seconds, 4),
+        "dense_seconds": round(dense_seconds, 4),
+        "sparse_seconds": round(sparse_seconds, 4),
+        "dense_seconds_per_step": round(dense_seconds / steps, 6),
+        "sparse_seconds_per_step": round(sparse_seconds / steps, 6),
+        "speedup": round(dense_seconds / sparse_seconds, 3),
+        "dense_max_error": dense_error,
+        "sparse_max_error": sparse_error,
+        "dense_push_messages": dense_out.push_messages,
+        "sparse_push_messages": sparse_out.push_messages,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="number of nodes (default 50000)")
+    parser.add_argument("--m", type=int, default=2, help="PA attachment parameter")
+    parser.add_argument("--steps", type=int, default=30, help="gossip steps per timed run")
+    parser.add_argument("--repeats", type=int, default=3, help="timed repetitions (min is kept)")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--out", default="BENCH_sparse.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed
+    )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print(
+        f"\nsparse engine is {record['speedup']}x the dense engine "
+        f"at N={record['n']} ({record['steps']} steps, best of {record['repeats']})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,7 @@ def main() -> None:
 
     ratio_on = with_reputation.success_ratio("cooperative", "free_rider")
     ratio_off = anarchy.success_ratio("cooperative", "free_rider")
-    print(f"\ncooperative/free-rider success ratio: "
+    print("\ncooperative/free-rider success ratio: "
           f"{ratio_on:.2f} with reputation vs {ratio_off:.2f} in anarchy")
     print("-> reputation makes contribution pay: free riders are starved, ")
     print("   so free riding stops being the dominant strategy (Section 3).")

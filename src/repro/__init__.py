@@ -24,6 +24,7 @@ from repro.core import (
     ConvergenceError,
     GossipOutcome,
     MessageLevelGossip,
+    SparseGossipEngine,
     VectorGossipEngine,
     WeightParams,
     aggregate_single_gclr,
@@ -56,6 +57,7 @@ __all__ = [
     "aggregate_vector_global",
     "aggregate_vector_gclr",
     "VectorGossipEngine",
+    "SparseGossipEngine",
     "MessageLevelGossip",
     "GossipOutcome",
     "ConvergenceError",

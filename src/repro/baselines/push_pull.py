@@ -15,8 +15,6 @@ so overhead comparisons are fair.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.convergence import ConvergenceProtocol, deviation_vector

@@ -11,6 +11,8 @@ Engines (reusable for custom initialisations and baselines):
 
 - :class:`repro.core.vector_engine.VectorGossipEngine` — numpy, scales
   to the paper's 50 000-node sweeps;
+- :class:`repro.core.sparse_engine.SparseGossipEngine` — CSR-vectorised
+  with preallocated buffers, for very large (500k–1M node) rounds;
 - :class:`repro.core.engine.MessageLevelGossip` — protocol-faithful
   object simulation with mailboxes and announcements.
 """
@@ -29,6 +31,7 @@ from repro.core.single_global import (
     aggregate_single_global,
     true_single_global,
 )
+from repro.core.sparse_engine import SparseGossipEngine
 from repro.core.state import UNDEFINED_RATIO, GossipPair, ratios
 from repro.core.vector_engine import VectorGossipEngine
 from repro.core.vector_gclr import VectorGclrResult, aggregate_vector_gclr, true_vector_gclr
@@ -48,6 +51,7 @@ __all__ = [
     "VectorGlobalResult",
     "VectorGclrResult",
     "VectorGossipEngine",
+    "SparseGossipEngine",
     "MessageLevelGossip",
     "GossipOutcome",
     "GossipPair",

@@ -18,7 +18,7 @@ feedback that changed materially is re-announced to neighbours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

@@ -21,7 +21,7 @@ selects between them, defaulting to the pseudocode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional
+from typing import Literal, Optional
 
 import numpy as np
 

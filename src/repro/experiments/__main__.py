@@ -26,7 +26,17 @@ def main(argv=None) -> int:
         action="store_true",
         help=f"full-scale sweeps (equivalent to {FULL_SCALE_ENV}=1); N up to 50000",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan experiments out over N worker processes (0 = all CPUs); "
+        "results are identical to a serial run",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 0:
+        parser.error("--parallel must be >= 0")
 
     if args.full:
         os.environ[FULL_SCALE_ENV] = "1"
@@ -39,16 +49,21 @@ def main(argv=None) -> int:
         return 0
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for experiment_id in ids:
-        try:
-            runner = get_experiment(experiment_id)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
-        kwargs = {}
-        if args.seed is not None:
-            kwargs["seed"] = args.seed
-        result = runner(**kwargs)
+    try:
+        for experiment_id in ids:
+            get_experiment(experiment_id)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    from repro.experiments.parallel import iter_experiments
+
+    # iter_experiments streams for any process count (processes=1 runs
+    # serially in-process): each table prints the moment its experiment
+    # finishes, so a multi-hour --full sweep keeps its completed output
+    # if a later experiment fails.
+    processes = None if args.parallel == 0 else args.parallel
+    for result in iter_experiments(ids, processes=processes, seed=args.seed):
         print(result.to_text())
         print()
     return 0

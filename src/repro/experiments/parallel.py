@@ -1,0 +1,214 @@
+"""Parallel sweep execution over a multiprocessing pool.
+
+Every figure/table experiment is a sweep: the same measurement repeated
+over a grid of points (network sizes, collusion fractions, loss rates)
+that never communicate — embarrassingly parallel work the serial
+runner executes one point at a time. :func:`run_sweep` fans those
+points out over worker processes while keeping results *byte-identical*
+to a serial run:
+
+- each point gets its own :class:`numpy.random.SeedSequence`, spawned
+  from the master seed by index
+  (:func:`repro.utils.rng.spawn_seed_sequences`), so a point's random
+  stream never depends on which worker runs it or in what order;
+- results are returned in point order regardless of completion order.
+
+:func:`run_experiments` applies the same machinery one level up — whole
+registry experiments as the unit of work — and is what
+``python -m repro.experiments all --parallel N`` uses.
+
+Workers must be module-level callables (the pool pickles them by
+qualified name). Worker processes inherit ``REPRO_FULL_SCALE`` and the
+rest of the environment from the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import spawn_seed_sequences
+
+#: A sweep worker: ``worker(point, seed_sequence) -> result``.
+SweepWorker = Callable[[Any, np.random.SeedSequence], Any]
+
+
+def default_processes() -> int:
+    """Worker count used when callers pass ``processes=None``.
+
+    Uses the CPUs actually *available* to this process (cgroup quota /
+    affinity mask) where the platform exposes that, falling back to the
+    raw CPU count — a 2-core container slice on a 64-core host gets 2
+    workers, not 64.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        available = os.cpu_count() or 1
+    return max(1, available)
+
+
+def _call_worker(job: Tuple[SweepWorker, Any, np.random.SeedSequence]) -> Any:
+    """Top-level pool target (must be picklable by qualified name)."""
+    worker, point, seed = job
+    return worker(point, seed)
+
+
+def _resolve_context(mp_context: Optional[str]):
+    """Optional start-method name -> multiprocessing context (or None)."""
+    if mp_context is None:
+        return None
+    import multiprocessing
+
+    return multiprocessing.get_context(mp_context)
+
+
+def run_sweep(
+    worker: SweepWorker,
+    points: Sequence[Any],
+    *,
+    master_seed: "int | np.random.SeedSequence | None" = 0,
+    processes: Optional[int] = 1,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """Map ``worker`` over ``points`` with per-point seeded RNG streams.
+
+    Parameters
+    ----------
+    worker:
+        Module-level callable ``worker(point, seed_sequence)``. Build a
+        generator inside the worker with
+        ``numpy.random.default_rng(seed_sequence)``.
+    points:
+        Sweep grid; any picklable values.
+    master_seed:
+        Root seed; child ``i``'s stream depends only on this and ``i``.
+    processes:
+        Worker processes. ``1`` (the default) runs serially in-process;
+        ``None`` uses every CPU. Any value yields identical results.
+    mp_context:
+        Optional :func:`multiprocessing.get_context` method name
+        (``"fork"``, ``"spawn"``, ...); ``None`` uses the platform
+        default.
+
+    Returns
+    -------
+    list
+        One result per point, in point order.
+
+    Examples
+    --------
+    >>> def double(point, seed):
+    ...     return point * 2
+    >>> run_sweep(double, [1, 2, 3], master_seed=0)
+    [2, 4, 6]
+    """
+    points = list(points)
+    seeds = spawn_seed_sequences(master_seed, len(points))
+    jobs = [(worker, point, seed) for point, seed in zip(points, seeds)]
+    if processes is None:
+        processes = default_processes()
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1 (or None), got {processes}")
+    if processes == 1 or len(jobs) <= 1:
+        return [_call_worker(job) for job in jobs]
+    pool = ProcessPoolExecutor(
+        max_workers=min(processes, len(jobs)), mp_context=_resolve_context(mp_context)
+    )
+    try:
+        futures = [pool.submit(_call_worker, job) for job in jobs]
+        results = [future.result() for future in futures]
+    except BaseException:
+        # First failure: drop queued points instead of finishing the
+        # whole sweep before the exception can surface.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
+
+
+def _run_registry_experiment(job: Tuple[str, Dict[str, Any]]) -> Any:
+    """Pool target for :func:`run_experiments` (registry lookup in-worker)."""
+    from repro.experiments.registry import get_experiment
+
+    experiment_id, kwargs = job
+    return get_experiment(experiment_id)(**kwargs)
+
+
+def iter_experiments(
+    experiment_ids: Sequence[str],
+    *,
+    processes: Optional[int] = 1,
+    seed: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> Iterator[Any]:
+    """Yield registry experiment results in input order as they complete.
+
+    Streaming matters for long sweeps: with ``--full``, nine finished
+    multi-hour experiments must not be discarded because a tenth raised.
+    Consumers that print as they iterate keep every completed result;
+    the exception from a failed experiment surfaces at its position.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Registry keys (see ``repro.experiments.registry.EXPERIMENTS``).
+    processes:
+        Worker processes; ``1`` runs serially, ``None`` uses every
+        available CPU.
+    seed:
+        Optional seed override forwarded to every experiment.
+    mp_context:
+        Optional multiprocessing start-method name.
+
+    Yields
+    ------
+    repro.experiments.runner.ExperimentResult
+        One per id, in input order.
+    """
+    from repro.experiments.registry import get_experiment
+
+    for experiment_id in experiment_ids:
+        get_experiment(experiment_id)  # fail fast on unknown ids, before forking
+    kwargs: Dict[str, Any] = {} if seed is None else {"seed": seed}
+    jobs = [(experiment_id, kwargs) for experiment_id in experiment_ids]
+    if processes is None:
+        processes = default_processes()
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1 (or None), got {processes}")
+    if processes == 1 or len(jobs) <= 1:
+        for job in jobs:
+            yield _run_registry_experiment(job)
+        return
+    pool = ProcessPoolExecutor(
+        max_workers=min(processes, len(jobs)), mp_context=_resolve_context(mp_context)
+    )
+    try:
+        futures = [pool.submit(_run_registry_experiment, job) for job in jobs]
+        for future in futures:
+            yield future.result()
+    except BaseException:
+        # A failed experiment (or an abandoned consumer) must not sit
+        # through hours of queued sweeps: drop everything not yet
+        # started and surface immediately. Jobs already running in
+        # workers finish on their own.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    *,
+    processes: Optional[int] = 1,
+    seed: Optional[int] = None,
+    mp_context: Optional[str] = None,
+) -> List[Any]:
+    """Like :func:`iter_experiments`, but collected into a list."""
+    return list(
+        iter_experiments(experiment_ids, processes=processes, seed=seed, mp_context=mp_context)
+    )

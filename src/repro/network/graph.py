@@ -44,7 +44,14 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_num_nodes", "_indptr", "_indices", "_degrees", "_avg_neighbor_degree")
+    __slots__ = (
+        "_num_nodes",
+        "_indptr",
+        "_indices",
+        "_degrees",
+        "_avg_neighbor_degree",
+        "_scipy_csr",
+    )
 
     def __init__(self, num_nodes: int, edges: Iterable[Edge]):
         if num_nodes < 1:
@@ -76,10 +83,142 @@ class Graph:
             nbrs.sort()
             indices[indptr[node] : indptr[node + 1]] = nbrs
 
+        self._finalize(indptr, indices, degrees)
+
+    def _finalize(self, indptr: np.ndarray, indices: np.ndarray, degrees: np.ndarray) -> None:
+        """Install validated CSR arrays and derived degree statistics."""
         self._indptr = indptr
         self._indices = indices
         self._degrees = degrees
         self._avg_neighbor_degree = self._compute_avg_neighbor_degree()
+        self._scipy_csr = None
+
+    # -- alternate constructors ---------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> "Graph":
+        """Build a :class:`Graph` directly from CSR adjacency arrays.
+
+        This is the fast path for large graphs: construction is fully
+        vectorised (no per-edge Python loop), so million-node topologies
+        build in milliseconds once their CSR arrays exist.
+
+        Parameters
+        ----------
+        num_nodes:
+            Number of nodes.
+        indptr, indices:
+            CSR row pointers (``(num_nodes + 1,)``) and column indices.
+            Each row must be strictly increasing (sorted, no duplicate
+            neighbours), free of self-loops, and the adjacency must be
+            symmetric.
+        validate:
+            Skip the O(E) structural checks when ``False`` — only for
+            arrays that provably came from another :class:`Graph`.
+
+        Examples
+        --------
+        >>> g = Graph(3, [(0, 1), (1, 2)])
+        >>> h = Graph.from_csr(3, g.indptr, g.indices)
+        >>> h == g
+        True
+        """
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        n = int(num_nodes)
+        indptr = np.asarray(indptr)
+        indices = np.asarray(indices)
+        for name, array in (("indptr", indptr), ("indices", indices)):
+            if not np.issubdtype(array.dtype, np.integer):
+                # Silent float truncation would fabricate edges from a
+                # misaligned array (e.g. a scipy .data array).
+                raise ValueError(f"{name} must be an integer array, got dtype {array.dtype}")
+        indptr = np.array(indptr, dtype=np.int64, copy=True)
+        indices = np.array(indices, dtype=np.int64, copy=True)
+        if indptr.shape != (n + 1,):
+            raise ValueError(f"indptr must have shape ({n + 1},), got {indptr.shape}")
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {indices.shape}")
+        degrees = np.diff(indptr)
+        if validate:
+            if indptr[0] != 0 or int(indptr[-1]) != indices.shape[0] or np.any(degrees < 0):
+                raise ValueError("indptr must start at 0, be non-decreasing and end at len(indices)")
+            if indices.size and (indices.min() < 0 or indices.max() >= n):
+                raise ValueError(f"indices reference nodes outside 0..{n - 1}")
+            rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            if np.any(rows == indices):
+                raise ValueError("self-loops are not allowed")
+            if indices.size > 1:
+                same_row = rows[1:] == rows[:-1]
+                if np.any(same_row & (np.diff(indices) <= 0)):
+                    raise ValueError("each CSR row must be strictly increasing (sorted, no duplicates)")
+            # Symmetry: the multiset of directed edges equals its reverse.
+            forward = np.sort(rows * n + indices)
+            backward = np.sort(indices * n + rows)
+            if not np.array_equal(forward, backward):
+                raise ValueError("adjacency is not symmetric")
+        graph = object.__new__(cls)
+        graph._num_nodes = n
+        graph._finalize(indptr, indices, degrees)
+        return graph
+
+    @classmethod
+    def from_scipy_sparse(cls, matrix) -> "Graph":
+        """Build a :class:`Graph` from a scipy sparse adjacency matrix.
+
+        The nonzero *pattern* of ``matrix`` defines the edges (values are
+        ignored); it must be square, symmetric and zero-diagonal.
+
+        Examples
+        --------
+        >>> import scipy.sparse
+        >>> adj = scipy.sparse.csr_matrix(
+        ...     ([1.0, 1.0, 1.0, 1.0], ([0, 1, 1, 2], [1, 0, 2, 1])), shape=(3, 3)
+        ... )
+        >>> Graph.from_scipy_sparse(adj).num_edges
+        2
+        """
+        csr = matrix.tocsr(copy=True)
+        rows, cols = csr.shape
+        if rows != cols:
+            raise ValueError(f"adjacency must be square, got shape {csr.shape}")
+        csr.sum_duplicates()
+        # Stored entries that are numerically zero (e.g. duplicates that
+        # cancelled, or results of sparse arithmetic) are NOT edges.
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        return cls.from_csr(rows, csr.indptr, csr.indices)
+
+    def to_scipy_csr(self):
+        """This graph's adjacency as a ``scipy.sparse.csr_matrix`` (cached).
+
+        Entries are 1.0 at every edge. The matrix is built once and
+        shared across callers — treat it as read-only.
+
+        Examples
+        --------
+        >>> g = Graph(3, [(0, 1), (1, 2)])
+        >>> g.to_scipy_csr().toarray().tolist()
+        [[0.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]
+        """
+        if self._scipy_csr is None:
+            try:
+                import scipy.sparse
+            except ImportError as error:  # pragma: no cover - scipy is a core dependency
+                raise ImportError("to_scipy_csr() requires scipy") from error
+            data = np.ones(self._indices.shape[0], dtype=np.float64)
+            self._scipy_csr = scipy.sparse.csr_matrix(
+                (data, self._indices.copy(), self._indptr.copy()),
+                shape=(self._num_nodes, self._num_nodes),
+            )
+        return self._scipy_csr
 
     def _compute_avg_neighbor_degree(self) -> np.ndarray:
         """Mean degree over each node's neighbourhood (0.0 for isolated nodes)."""

@@ -1,6 +1,5 @@
 """Integration-grade tests for the file-sharing simulation."""
 
-import numpy as np
 import pytest
 
 from repro.network.preferential_attachment import preferential_attachment_graph

@@ -155,3 +155,98 @@ class TestFromAdjacency:
     def test_rejects_self_loop(self):
         with pytest.raises(ValueError, match="self-loop"):
             from_adjacency([[0]])
+
+
+class TestCsrConstructors:
+    """The vectorised CSR fast path builds the same graphs as __init__."""
+
+    def test_from_csr_roundtrip(self, fig2_network):
+        rebuilt = Graph.from_csr(10, fig2_network.indptr, fig2_network.indices)
+        assert rebuilt == fig2_network
+        assert np.array_equal(rebuilt.degrees, fig2_network.degrees)
+        assert np.array_equal(
+            rebuilt.average_neighbor_degrees, fig2_network.average_neighbor_degrees
+        )
+
+    def test_from_csr_copies_inputs(self, triangle):
+        indptr = np.array(triangle.indptr)
+        indices = np.array(triangle.indices)
+        rebuilt = Graph.from_csr(3, indptr, indices)
+        indices[0] = 2  # mutating the caller's array must not affect the graph
+        assert rebuilt == triangle
+
+    def test_from_csr_rejects_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            Graph.from_csr(3, np.array([0, 1]), np.array([1]))
+        with pytest.raises(ValueError, match="indptr"):
+            Graph.from_csr(2, np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_from_csr_rejects_float_arrays(self):
+        # Silent truncation would fabricate edges from misaligned input.
+        with pytest.raises(ValueError, match="integer"):
+            Graph.from_csr(2, np.array([0.0, 1.9, 2.0]), np.array([1, 0]))
+        with pytest.raises(ValueError, match="integer"):
+            Graph.from_csr(2, np.array([0, 1, 2]), np.array([1.2, 0.7]))
+
+    def test_from_csr_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            Graph.from_csr(2, np.array([0, 1, 2]), np.array([5, 0]))
+
+    def test_from_csr_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph.from_csr(2, np.array([0, 1, 2]), np.array([0, 1]))
+
+    def test_from_csr_rejects_unsorted_row(self):
+        # Row 0 lists neighbours (2, 1): sorted order is required.
+        indptr = np.array([0, 2, 3, 4])
+        indices = np.array([2, 1, 0, 0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Graph.from_csr(3, indptr, indices)
+
+    def test_from_csr_rejects_asymmetric(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph.from_csr(2, indptr, indices)
+
+    def test_to_scipy_csr_values_and_cache(self, triangle):
+        adjacency = triangle.to_scipy_csr()
+        assert adjacency.shape == (3, 3)
+        assert adjacency.nnz == 6  # both directions of each edge
+        assert triangle.to_scipy_csr() is adjacency  # cached
+        dense = adjacency.toarray()
+        assert dense[0, 1] == 1.0 and dense[0, 0] == 0.0
+        assert np.array_equal(dense, dense.T)
+
+    def test_from_scipy_sparse_roundtrip(self, fig2_network):
+        assert Graph.from_scipy_sparse(fig2_network.to_scipy_csr()) == fig2_network
+
+    def test_from_scipy_sparse_rejects_nonsquare(self):
+        import scipy.sparse
+
+        matrix = scipy.sparse.csr_matrix(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            Graph.from_scipy_sparse(matrix)
+
+    def test_from_scipy_sparse_canonicalises_duplicates(self):
+        import scipy.sparse
+
+        # COO with a duplicated (0, 1) entry; sum_duplicates must merge it.
+        matrix = scipy.sparse.coo_matrix(
+            ([1.0, 1.0, 1.0], ([0, 0, 1], [1, 1, 0])), shape=(2, 2)
+        )
+        graph = Graph.from_scipy_sparse(matrix)
+        assert graph.num_edges == 1
+        assert graph.has_edge(0, 1)
+
+    def test_from_scipy_sparse_ignores_explicit_zeros(self):
+        import scipy.sparse
+
+        # Duplicates that cancel to 0.0 (and stored zeros generally) are
+        # not edges: the numerically-zero matrix has no edges at all.
+        matrix = scipy.sparse.coo_matrix(
+            ([1.0, -1.0, 1.0, -1.0], ([0, 0, 1, 1], [1, 1, 0, 0])), shape=(2, 2)
+        )
+        graph = Graph.from_scipy_sparse(matrix)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(0, 1)

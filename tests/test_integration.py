@@ -11,7 +11,7 @@ import pytest
 from repro.attacks.collusion import apply_collusion, group_colluders, select_colluders
 from repro.baselines.gossip_trust import unweighted_global_estimate
 from repro.core.engine import MessageLevelGossip
-from repro.core.single_gclr import aggregate_single_gclr, true_single_gclr
+from repro.core.single_gclr import aggregate_single_gclr
 from repro.core.vector_engine import VectorGossipEngine
 from repro.core.vector_gclr import aggregate_vector_gclr, true_vector_gclr
 from repro.core.weights import WeightParams
@@ -102,7 +102,6 @@ class TestCollusionPipeline:
         assert rms_gossip == pytest.approx(rms_exact, rel=0.15)
 
     def test_collusion_moves_colluder_reputation_up(self):
-        graph = preferential_attachment_graph(60, m=2, rng=24)
         trust = complete_trust_matrix(60, rng=25)
         # One clique: intra-group praise with no rival group badmouthing
         # the members (split groups badmouth each other too).
