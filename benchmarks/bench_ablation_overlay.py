@@ -15,6 +15,7 @@ from repro.baselines.push_sum import normal_push_engine
 from repro.core.vector_engine import VectorGossipEngine
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.network.random_graphs import erdos_renyi_graph, random_regular_graph
+from repro.utils.rng import as_generator
 
 N = 800
 XI = 1e-4
@@ -31,7 +32,7 @@ def _make_overlay(kind: str):
 @pytest.mark.parametrize("overlay", ["pa", "erdos_renyi", "regular"])
 def test_ablation_overlay_step_gap(benchmark, overlay):
     graph = _make_overlay(overlay)
-    values = np.random.default_rng(28).random(N)
+    values = as_generator(28).random(N)
     weights = np.ones(N)
 
     def run():

@@ -11,6 +11,7 @@ from repro.core.vector_engine import VectorGossipEngine
 from repro.core.vector_gclr import true_vector_gclr
 from repro.core.weights import WeightParams
 from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.rng import as_generator
 
 
 def test_micro_pa_generation(benchmark):
@@ -40,7 +41,7 @@ def test_micro_gossip_steps(benchmark, bench_graph, bench_values):
 def test_micro_vector_gossip_wide_state(benchmark, bench_graph):
     """Gossip with a 32-column state matrix (variant-3/4 regime)."""
     n = bench_graph.num_nodes
-    values = np.random.default_rng(25).random((n, 32))
+    values = as_generator(25).random((n, 32))
 
     def run():
         engine = VectorGossipEngine(bench_graph, rng=26)

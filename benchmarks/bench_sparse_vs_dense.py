@@ -6,12 +6,18 @@ timing) and records wall-clock, per-step cost and the speedup ratio in
 ``BENCH_sparse.json`` — the perf artifact CI uploads on every run so
 regressions in either engine's hot path are visible in one number.
 
+It then sweeps the same burn through the :func:`repro.aggregate`
+facade for every fixed-budget-capable registered backend and records
+one row per backend in ``BENCH_backends.json`` — the artifact that
+keeps facade overhead and each backend's hot path honest at once.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sparse_vs_dense.py \
-        [--n 50000] [--steps 30] [--repeats 3] [--out BENCH_sparse.json]
+        [--n 50000] [--steps 30] [--repeats 3] \
+        [--out BENCH_sparse.json] [--backends-out BENCH_backends.json]
 
-The script also cross-checks that both engines land on the same
+The script also cross-checks that every run lands near the same
 estimates (they must agree on the fully-mixed fixpoint), so a speedup
 obtained by computing the wrong thing fails loudly.
 """
@@ -22,13 +28,16 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import GossipConfig, choose_backend_name
 from repro.core.sparse_engine import SparseGossipEngine
 from repro.core.vector_engine import VectorGossipEngine
+from repro.facade import aggregate
 from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.rng import as_generator
 
 
 def _best_of(repeats: int, fn: Callable[[], object]) -> tuple:
@@ -42,6 +51,15 @@ def _best_of(repeats: int, fn: Callable[[], object]) -> tuple:
     return best, result
 
 
+def _build_world(n: int, m: int, seed: int) -> tuple:
+    """``(graph, values, build_seconds)`` shared by both benchmark passes."""
+    build_start = time.perf_counter()
+    graph = preferential_attachment_graph(n, m=m, rng=seed)
+    build_seconds = time.perf_counter() - build_start
+    values = as_generator(seed + 1).random(n)
+    return graph, values, build_seconds
+
+
 def run_benchmark(
     n: int = 50_000,
     *,
@@ -49,12 +67,14 @@ def run_benchmark(
     steps: int = 30,
     repeats: int = 3,
     seed: int = 2016,
+    world: Optional[tuple] = None,
 ) -> Dict[str, object]:
-    """Time both engines and return the benchmark record."""
-    build_start = time.perf_counter()
-    graph = preferential_attachment_graph(n, m=m, rng=seed)
-    graph_seconds = time.perf_counter() - build_start
-    values = np.random.default_rng(seed + 1).random(n)
+    """Time both engines and return the benchmark record.
+
+    ``world`` accepts a prebuilt ``_build_world`` result so callers
+    running several passes over the same topology build it once.
+    """
+    graph, values, graph_seconds = world if world is not None else _build_world(n, m, seed)
     weights = np.ones(n)
 
     def dense_run():
@@ -106,6 +126,72 @@ def run_benchmark(
     }
 
 
+def run_backend_sweep(
+    n: int = 50_000,
+    *,
+    m: int = 2,
+    steps: int = 30,
+    repeats: int = 3,
+    seed: int = 2016,
+    backends: Optional[Sequence[str]] = None,
+    world: Optional[tuple] = None,
+) -> Dict[str, object]:
+    """Time the same fixed-step burn through ``repro.aggregate`` per backend.
+
+    Only fixed-budget-capable backends are swept (the message and async
+    engines have no ``run_to_max`` mode); the auto-selected backend for
+    this graph is recorded so the sweep doubles as a check on the
+    ``"auto"`` policy.
+    """
+    graph, values, _ = world if world is not None else _build_world(n, m, seed)
+    true_mean = float(values.mean())
+    spread = float(np.abs(values - true_mean).max())
+    if backends is None:
+        backends = ("dense", "sparse")
+
+    rows: List[Dict[str, object]] = []
+    for index, name in enumerate(backends):
+        config = GossipConfig(
+            xi=1e-12, max_steps=steps, run_to_max=True, rng=seed + 2 + index
+        )
+        seconds, outcome = _best_of(
+            repeats, lambda: aggregate(graph, values, config, backend=name)
+        )
+        error = float(np.abs(outcome.estimates.reshape(-1) - true_mean).max())
+        if not np.isfinite(error) or error >= spread:
+            raise AssertionError(
+                f"backend {name!r} made no mixing progress in {steps} steps "
+                f"(max error {error} vs initial spread {spread})"
+            )
+        rows.append(
+            {
+                "backend": name,
+                "seconds": round(seconds, 4),
+                "seconds_per_step": round(seconds / steps, 6),
+                "max_error": error,
+                "push_messages": outcome.push_messages,
+            }
+        )
+    dense_row = next((r for r in rows if r["backend"] == "dense"), None)
+    for row in rows:
+        row["speedup_vs_dense"] = (
+            round(dense_row["seconds"] / row["seconds"], 3)
+            if dense_row is not None and row["seconds"]
+            else None
+        )
+    return {
+        "benchmark": "facade_backends",
+        "n": n,
+        "m": m,
+        "steps": steps,
+        "repeats": repeats,
+        "seed": seed,
+        "num_edges": graph.num_edges,
+        "auto_backend": choose_backend_name(graph),
+        "backends": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=50_000, help="number of nodes (default 50000)")
@@ -114,10 +200,16 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3, help="timed repetitions (min is kept)")
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--out", default="BENCH_sparse.json", help="output JSON path")
+    parser.add_argument(
+        "--backends-out",
+        default="BENCH_backends.json",
+        help="per-backend facade sweep output JSON path ('' skips the sweep)",
+    )
     args = parser.parse_args(argv)
 
+    world = _build_world(args.n, args.m, args.seed)
     record = run_benchmark(
-        args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed
+        args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed, world=world
     )
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
@@ -128,6 +220,15 @@ def main(argv=None) -> int:
         f"at N={record['n']} ({record['steps']} steps, best of {record['repeats']})",
         file=sys.stderr,
     )
+
+    if args.backends_out:
+        sweep = run_backend_sweep(
+            args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed, world=world
+        )
+        with open(args.backends_out, "w") as handle:
+            json.dump(sweep, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(json.dumps(sweep, indent=2, sort_keys=True))
     return 0
 
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
+from repro.utils.rng import as_generator
 
 BENCH_N = 1000  # large enough for the paper's shapes, small enough per-round
 
@@ -20,7 +20,7 @@ def bench_graph():
 @pytest.fixture(scope="module")
 def bench_values(bench_graph):
     """Per-node initial observations for averaging benchmarks."""
-    return np.random.default_rng(7).random(bench_graph.num_nodes)
+    return as_generator(7).random(bench_graph.num_nodes)
 
 
 @pytest.fixture(scope="module")

@@ -20,13 +20,14 @@ import numpy as np
 from repro.core.vector_engine import VectorGossipEngine
 from repro.network.churn import PacketLossModel
 from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.rng import as_generator
 from repro.utils.tables import format_table
 
 
 def main() -> None:
     graph = preferential_attachment_graph(1500, m=2, rng=31)
     n = graph.num_nodes
-    values = np.random.default_rng(32).random(n)
+    values = as_generator(32).random(n)
     truth = float(values.mean())
 
     rows = []

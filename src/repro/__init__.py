@@ -22,6 +22,7 @@ Quickstart
 
 from repro.core import (
     ConvergenceError,
+    GossipConfig,
     GossipOutcome,
     MessageLevelGossip,
     SparseGossipEngine,
@@ -31,8 +32,12 @@ from repro.core import (
     aggregate_single_global,
     aggregate_vector_gclr,
     aggregate_vector_global,
+    available_backends,
+    get_backend,
     push_counts,
+    register_backend,
 )
+from repro.facade import aggregate
 from repro.network import (
     Graph,
     PacketLossModel,
@@ -52,6 +57,11 @@ __all__ = [
     "random_trust_matrix",
     "ReputationTable",
     "WeightParams",
+    "aggregate",
+    "GossipConfig",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "aggregate_single_global",
     "aggregate_single_gclr",
     "aggregate_vector_global",

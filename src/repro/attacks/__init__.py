@@ -13,11 +13,14 @@ from repro.attacks.collusion import (
     group_colluders,
     select_colluders,
 )
+from repro.attacks.evaluate import CollusionImpact, collusion_impact
 from repro.attacks.whitewashing import WhitewashingModel
 
 __all__ = [
     "CollusionAttack",
+    "CollusionImpact",
     "apply_collusion",
+    "collusion_impact",
     "group_colluders",
     "select_colluders",
     "WhitewashingModel",

@@ -1,0 +1,154 @@
+"""Attack-impact measurement through the unified gossip backend layer.
+
+One measurement = two vector-gclr aggregation runs over the *same*
+topology and the same gossip randomness — once with the honest trust
+matrix, once with the attack-poisoned copy — compared by the paper's
+eq.-18 average RMS error. Sharing the seed between the two runs cancels
+gossip noise, so the measured error isolates the attack effect.
+
+This used to live inside the Figure-5/6 experiment plumbing and was
+hard-wired to the dense engine; routing it through
+:func:`repro.core.backend.run_backend` (via the variant entry point)
+lets any registered backend — and any churn level — carry the same
+measurement, which is what the ``collusion-under-churn`` scenario runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.collusion import CollusionAttack, apply_collusion
+from repro.core.backend import GossipConfig
+from repro.core.results import GossipOutcome
+from repro.core.vector_gclr import gclr_reputations, true_vector_gclr
+from repro.core.weights import WeightParams
+from repro.facade import aggregate
+from repro.network.graph import Graph
+from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class CollusionImpact:
+    """Eq.-18 RMS errors of one attack, weighted vs unweighted scheme."""
+
+    rms_gclr: float
+    rms_unweighted: float
+    clean_outcome: Optional[GossipOutcome] = None
+    dirty_outcome: Optional[GossipOutcome] = None
+
+
+def _derive_seed(config: GossipConfig) -> int:
+    """One integer seed reused by both runs (noise cancellation).
+
+    ``rng=None`` keeps the library-wide fresh-entropy convention: a
+    random seed is drawn once and shared by the clean/dirty pair.
+    """
+    if config.rng is None:
+        return int(as_generator(None).integers(2**62))
+    if isinstance(config.rng, (int, np.integer)):
+        return int(config.rng)
+    return int(as_generator(config.rng).integers(2**62))
+
+
+def collusion_impact(
+    graph: Graph,
+    trust: TrustMatrix,
+    attack: CollusionAttack,
+    *,
+    params: Optional[WeightParams] = None,
+    targets: Optional[Sequence[int]] = None,
+    use_gossip: bool = True,
+    config: Optional[GossipConfig] = None,
+    backend: str = "dense",
+) -> CollusionImpact:
+    """Measure eq.-18 RMS error for one concrete attack on any backend.
+
+    Parameters
+    ----------
+    graph, trust:
+        The honest world.
+    attack:
+        The collusion instance to inject (honest matrix is not mutated).
+    params:
+        GCLR weighting constants; defaults to ``config.params``.
+    targets:
+        Tracked reputation columns (default: every node).
+    use_gossip:
+        ``True`` runs real differential gossip on ``backend``; ``False``
+        uses the exact eq.-6 fixpoint (large sweeps, benchmarks).
+    config:
+        Gossip knobs, forwarded whole through :func:`repro.aggregate`
+        (``k``/``push_counts``, ``warmup_steps``, ``track_history``,
+        ... all apply). ``rng`` is reduced to one integer seed shared by
+        the clean and poisoned runs, and ``loss_probability`` churn is
+        derived statelessly from that seed
+        (:meth:`~repro.core.backend.GossipConfig.materialize`), so both
+        gossip noise and churn noise cancel between the two runs. A
+        stateful ``loss_model`` cannot be replayed per run and is
+        rejected — use ``loss_probability``.
+    backend:
+        Registered gossip backend name (or ``"auto"``).
+
+    Returns
+    -------
+    CollusionImpact
+        Eq.-18 errors for the weighted scheme and the unweighted
+        comparator, plus the raw outcomes when gossip ran.
+    """
+    from repro.analysis.metrics import average_rms_error
+    from repro.baselines.gossip_trust import unweighted_global_estimate
+
+    n = graph.num_nodes
+    target_list = list(targets) if targets is not None else list(range(n))
+    poisoned = apply_collusion(trust, attack)
+    config = config if config is not None else GossipConfig(xi=1e-5)
+    params = params if params is not None else config.params
+
+    clean_outcome = dirty_outcome = None
+    if use_gossip:
+        if config.loss_model is not None:
+            raise ValueError(
+                "collusion_impact replays churn identically across the clean and "
+                "poisoned runs; a shared stateful loss_model cannot be re-seeded — "
+                "pass loss_probability instead"
+            )
+        run_config = replace(config, rng=_derive_seed(config))
+        target_array = np.asarray(target_list, dtype=np.int64)
+        reputations = []
+        outcomes = []
+        for matrix in (trust, poisoned):
+            outcome = aggregate(
+                graph,
+                matrix,
+                run_config,
+                backend=backend,
+                variant="vector-gclr",
+                targets=target_list,
+            )
+            outcomes.append(outcome)
+            reputations.append(
+                gclr_reputations(graph, matrix, target_array, outcome, params, "all")
+            )
+        clean, dirty = reputations
+        clean_outcome, dirty_outcome = outcomes
+    else:
+        clean = true_vector_gclr(graph, trust, target_list, params, "all")
+        dirty = true_vector_gclr(graph, poisoned, target_list, params, "all")
+
+    rms_gclr = average_rms_error(dirty, clean)
+
+    clean_unweighted = unweighted_global_estimate(trust)[target_list]
+    dirty_unweighted = unweighted_global_estimate(poisoned)[target_list]
+    rms_unweighted = average_rms_error(
+        np.tile(dirty_unweighted, (n, 1)), np.tile(clean_unweighted, (n, 1))
+    )
+    return CollusionImpact(
+        rms_gclr=rms_gclr,
+        rms_unweighted=rms_unweighted,
+        clean_outcome=clean_outcome,
+        dirty_outcome=dirty_outcome,
+    )

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.backend import GossipConfig, run_backend
 from repro.core.differential import fixed_push_counts
 from repro.core.results import GossipOutcome
 from repro.core.vector_engine import VectorGossipEngine
@@ -51,12 +52,16 @@ def push_sum_average(
     loss_model: Optional[PacketLossModel] = None,
     max_steps: int = 10_000,
     patience: int = 3,
+    backend: str = "dense",
 ) -> GossipOutcome:
     """Estimate the average of ``values`` with classic push-sum.
 
     Every node starts with ``(value_i, 1)`` — the uniform-gossip setting
     of the paper's Section 5.1 analysis — and pushes to one random
-    neighbour per step until the stop protocol fires.
+    neighbour per step until the stop protocol fires. Runs through the
+    unified backend layer (``k = 1`` in the shared
+    :class:`repro.core.backend.GossipConfig`), so the baseline scales
+    onto the sparse engine like everything else.
 
     Parameters
     ----------
@@ -66,6 +71,8 @@ def push_sum_average(
         Per-node numbers to average, shape ``(N,)``.
     xi, rng, loss_model, max_steps, patience:
         As in :meth:`repro.core.vector_engine.VectorGossipEngine.run`.
+    backend:
+        Registered gossip backend name (or ``"auto"``).
 
     Examples
     --------
@@ -79,11 +86,17 @@ def push_sum_average(
     values = np.asarray(values, dtype=np.float64)
     if values.shape != (graph.num_nodes,):
         raise ValueError(f"values must have shape ({graph.num_nodes},), got {values.shape}")
-    engine = normal_push_engine(graph, loss_model=loss_model, rng=rng)
-    return engine.run(
+    return run_backend(
+        graph,
         values,
         np.ones(graph.num_nodes),
-        xi=xi,
-        max_steps=max_steps,
-        patience=patience,
+        config=GossipConfig(
+            xi=xi,
+            k=1,
+            loss_model=loss_model,
+            rng=rng,
+            max_steps=max_steps,
+            patience=patience,
+        ),
+        backend=backend,
     )

@@ -1,5 +1,10 @@
 """Differential Gossip Trust — the paper's core contribution.
 
+Prefer the unified facade :func:`repro.aggregate`, which runs any
+variant on any registered backend
+(:mod:`repro.core.backend`); the per-variant entry points below remain
+as typed wrappers over the same backend layer.
+
 Public entry points (one per algorithm variant of Section 4.1.2):
 
 - :func:`repro.core.single_global.aggregate_single_global` — Algorithm 1
@@ -19,6 +24,17 @@ Engines (reusable for custom initialisations and baselines):
 
 from repro.core.adaptive_weights import AdaptiveWeightPolicy
 from repro.core.async_engine import AsyncGossipEngine, AsyncGossipOutcome
+from repro.core.backend import (
+    BackendCapabilityError,
+    GossipBackend,
+    GossipConfig,
+    UnknownBackendError,
+    available_backends,
+    choose_backend_name,
+    get_backend,
+    register_backend,
+    run_backend,
+)
 from repro.core.convergence import ConvergenceProtocol
 from repro.core.differential import fixed_push_counts, push_counts, push_ratio
 from repro.core.engine import MessageLevelGossip
@@ -39,6 +55,15 @@ from repro.core.vector_global import VectorGlobalResult, aggregate_vector_global
 from repro.core.weights import WeightParams, collusion_damping_factor
 
 __all__ = [
+    "GossipBackend",
+    "GossipConfig",
+    "BackendCapabilityError",
+    "UnknownBackendError",
+    "available_backends",
+    "choose_backend_name",
+    "get_backend",
+    "register_backend",
+    "run_backend",
     "aggregate_single_global",
     "aggregate_single_gclr",
     "aggregate_vector_global",

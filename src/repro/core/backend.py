@@ -1,0 +1,475 @@
+"""Unified gossip backend registry.
+
+The repro grew several engines that all execute the paper's differential
+push rule at different fidelity/scale trade-offs — the protocol-faithful
+message simulation, the dense numpy engine, the CSR sparse engine and
+the event-driven asynchronous engine. Before this module, every caller
+hard-coded one of them; scaling an experiment onto a faster engine meant
+hand-porting it. This module makes the engine a *named backend* behind
+one protocol:
+
+- :class:`GossipConfig` captures every shared knob of a gossip round
+  (push counts ``k_i``, GCLR weighting constants, the Δ re-push
+  threshold, the convergence criterion, randomness, packet loss);
+- :class:`GossipBackend` is the protocol all engines are adapted to:
+  ``run(graph, values, weights, extras=..., config=...) ->``
+  :class:`repro.core.results.GossipOutcome`;
+- :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends` manage the registry ("message", "dense",
+  "sparse", "async" ship built-in; "vector" is an alias of "dense");
+- :func:`choose_backend_name` implements the ``"auto"`` policy —
+  message → dense → sparse by node count and edge count;
+- :func:`run_backend` is the engine-level entry the
+  :func:`repro.aggregate` facade and the variant entry points share.
+
+Backends differ only in *how* they execute the update rule; identical
+configs converge to identical fixpoints (the cross-backend equivalence
+suite pins agreement to 1e-8), while the random streams — and therefore
+step-by-step trajectories — are backend-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.differential import fixed_push_counts
+from repro.core.errors import GossipError
+from repro.core.results import GossipOutcome
+from repro.core.weights import WeightParams
+from repro.network.churn import PacketLossModel
+from repro.network.graph import Graph
+from repro.utils.rng import RngLike, spawn_child, stateless_child_sequence
+
+#: Spawn key of the loss-model stream derived by GossipConfig.materialize.
+#: Deliberately far above any realistic spawn_seed_sequences sweep index,
+#: so churn streams never alias a sweep point's stream (see
+#: repro.utils.rng.stateless_child_sequence).
+LOSS_STREAM_KEY = 0xFFFF1055
+
+
+class BackendCapabilityError(GossipError):
+    """A backend was asked for a feature it does not implement."""
+
+
+class UnknownBackendError(KeyError, ValueError):
+    """An unregistered backend/engine name was requested.
+
+    Inherits both ``KeyError`` (registry-lookup convention) and
+    ``ValueError`` (what the pre-registry entry points raised for a bad
+    ``engine=`` argument), so either handling style keeps working.
+    """
+
+
+@dataclass
+class GossipConfig:
+    """Every shared knob of one gossip aggregation round.
+
+    One config object travels unchanged across backends, so a scenario
+    or experiment can switch engines without re-plumbing parameters.
+
+    Attributes
+    ----------
+    xi:
+        Convergence tolerance (per-step estimate movement bound).
+    k:
+        Fixed per-node push count; ``None`` (default) selects the
+        paper's differential rule, ``1`` reproduces normal push gossip.
+        Mutually exclusive with ``push_counts``.
+    push_counts:
+        Explicit per-node push-count array (ablations); overrides ``k``.
+    params:
+        GCLR weighting constants ``a``, ``b`` of eq. 2. Engines never
+        read them; they are the defaults consumed by the config-aware
+        layers — :func:`repro.attacks.evaluate.collusion_impact` and
+        :class:`repro.core.rounds.GossipRoundManager` (via its
+        ``config=`` argument). The variant entry points keep their own
+        explicit ``params=`` keyword.
+    delta:
+        Algorithm 2's Δ re-push threshold — an opinion is re-announced
+        between rounds only when it moved more than this. Like
+        ``params``, consumed by
+        :class:`repro.core.rounds.GossipRoundManager` when constructed
+        with ``config=``, not by single-round engines.
+    loss_probability:
+        Per-push packet-loss probability; when > 0 and no explicit
+        ``loss_model`` is given, a mass-conserving
+        :class:`repro.network.churn.PacketLossModel` is derived from
+        ``rng``.
+    loss_model:
+        Explicit churn model (takes precedence over
+        ``loss_probability``).
+    rng:
+        Seed / generator for target selection (and the derived loss
+        model, when ``loss_probability`` is used).
+    max_steps:
+        Safety budget before
+        :class:`repro.core.errors.ConvergenceError` (interpreted as a
+        simulated-time budget by the async backend).
+    patience:
+        Consecutive satisfied convergence checks before a node
+        announces.
+    warmup_steps:
+        Steps before convergence checks count (``None`` = engine
+        default ``ceil(log2 N) + 1``).
+    track_history:
+        Record per-step ratio snapshots in the outcome.
+    run_to_max:
+        Ignore the stop protocol and run exactly ``max_steps`` steps
+        (fixed-budget diffusion studies and benchmarks).
+    """
+
+    xi: float = 1e-4
+    k: Optional[int] = None
+    push_counts: Optional[np.ndarray] = None
+    params: WeightParams = field(default_factory=WeightParams)
+    delta: float = 0.05
+    loss_probability: float = 0.0
+    loss_model: Optional[PacketLossModel] = None
+    rng: RngLike = None
+    max_steps: int = 10_000
+    patience: int = 3
+    warmup_steps: Optional[int] = None
+    track_history: bool = False
+    run_to_max: bool = False
+
+    def __post_init__(self) -> None:
+        if self.xi <= 0:
+            raise ValueError(f"xi must be positive, got {self.xi}")
+        if self.k is not None and self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.k is not None and self.push_counts is not None:
+            raise ValueError("pass either k (uniform) or push_counts (per-node), not both")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(f"loss_probability must be in [0, 1], got {self.loss_probability}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.delta < 0:
+            raise ValueError(f"delta must be >= 0, got {self.delta}")
+
+    def resolved_push_counts(self, graph: Graph) -> Optional[np.ndarray]:
+        """Per-node push counts for ``graph``, or ``None`` for the
+        differential default (engines then also announce degrees)."""
+        if self.push_counts is not None:
+            return np.asarray(self.push_counts, dtype=np.int64)
+        if self.k is not None:
+            return fixed_push_counts(graph, self.k)
+        return None
+
+    def materialize(self) -> Tuple[np.random.Generator, Optional[PacketLossModel]]:
+        """Resolve ``(generator, loss_model)`` for one engine run.
+
+        The loss model derived from ``loss_probability`` gets its own
+        stream derived *statelessly* from the seed, so the engine's
+        target-selection stream is identical to a loss-free run of the
+        same seed (int / ``None`` / ``SeedSequence`` seeds). Only when
+        ``rng`` is an existing ``Generator`` — whose state cannot be
+        re-derived — is a child split off, which advances the shared
+        stream; prefer seed-like ``rng`` values when comparing against
+        a loss-free run.
+        """
+        loss = self.loss_model
+        needs_loss = loss is None and self.loss_probability > 0.0
+        if isinstance(self.rng, np.random.Generator):
+            if needs_loss:
+                loss = PacketLossModel(
+                    self.loss_probability, rng=spawn_child(self.rng, key=LOSS_STREAM_KEY)
+                )
+            return self.rng, loss
+        root = (
+            self.rng
+            if isinstance(self.rng, np.random.SeedSequence)
+            else np.random.SeedSequence(self.rng)
+        )
+        if needs_loss:
+            loss = PacketLossModel(
+                self.loss_probability,
+                rng=np.random.default_rng(stateless_child_sequence(root, LOSS_STREAM_KEY)),
+            )
+        return np.random.default_rng(root), loss
+
+
+@runtime_checkable
+class GossipBackend(Protocol):
+    """What the registry stores: a named engine adapter."""
+
+    name: str
+
+    def run(
+        self,
+        graph: Graph,
+        values: np.ndarray,
+        weights: np.ndarray,
+        *,
+        extras: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[GossipConfig] = None,
+    ) -> GossipOutcome:
+        """Execute one gossip round under ``config``; return the outcome."""
+        ...
+
+
+class _SynchronousBackend:
+    """Shared adapter for the step-synchronous engines.
+
+    Subclasses provide ``name``, ``supports_run_to_max`` and
+    ``_engine_class``; everything else — config materialisation, engine
+    construction, run-kwarg plumbing — is identical across the message,
+    dense and sparse engines.
+    """
+
+    name: str = ""
+    supports_run_to_max: bool = True
+    _engine_class: Optional[Callable] = None
+
+    def run(
+        self,
+        graph: Graph,
+        values: np.ndarray,
+        weights: np.ndarray,
+        *,
+        extras: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[GossipConfig] = None,
+    ) -> GossipOutcome:
+        config = config if config is not None else GossipConfig()
+        rng, loss_model = config.materialize()
+        engine = self._engine_class(
+            graph,
+            push_counts=config.resolved_push_counts(graph),
+            loss_model=loss_model,
+            rng=rng,
+        )
+        kwargs = dict(
+            xi=config.xi,
+            extras=extras,
+            max_steps=config.max_steps,
+            track_history=config.track_history,
+            patience=config.patience,
+            warmup_steps=config.warmup_steps,
+        )
+        if self.supports_run_to_max:
+            kwargs["run_to_max"] = config.run_to_max
+        elif config.run_to_max:
+            raise BackendCapabilityError(
+                f"backend {self.name!r} does not support run_to_max; use 'dense' or 'sparse'"
+            )
+        return engine.run(values, weights, **kwargs)
+
+
+class MessageBackend(_SynchronousBackend):
+    """Protocol-faithful object simulation (mailboxes, announcements)."""
+
+    name = "message"
+    supports_run_to_max = False
+
+    @property
+    def _engine_class(self):
+        from repro.core.engine import MessageLevelGossip
+
+        return MessageLevelGossip
+
+
+class DenseBackend(_SynchronousBackend):
+    """Vectorised numpy engine — the default at experiment scale."""
+
+    name = "dense"
+
+    @property
+    def _engine_class(self):
+        from repro.core.vector_engine import VectorGossipEngine
+
+        return VectorGossipEngine
+
+
+class SparseBackend(_SynchronousBackend):
+    """CSR-vectorised engine with preallocated buffers for huge rounds."""
+
+    name = "sparse"
+
+    @property
+    def _engine_class(self):
+        from repro.core.sparse_engine import SparseGossipEngine
+
+        return SparseGossipEngine
+
+
+class AsyncBackend:
+    """Event-driven engine on independent exponential clocks.
+
+    Asynchronous gossip has no global steps, so the returned
+    :class:`GossipOutcome` maps simulated time onto ``steps`` (rounded)
+    and individual push events onto ``push_messages``. Only scalar
+    (single-component) state is supported, and churn/extras/history are
+    synchronous-model features this backend rejects explicitly.
+    """
+
+    name = "async"
+
+    def run(
+        self,
+        graph: Graph,
+        values: np.ndarray,
+        weights: np.ndarray,
+        *,
+        extras: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[GossipConfig] = None,
+    ) -> GossipOutcome:
+        from repro.core.async_engine import AsyncGossipEngine
+
+        config = config if config is not None else GossipConfig()
+        if extras:
+            raise BackendCapabilityError("backend 'async' does not support extra components")
+        rng, loss_model = config.materialize()
+        if loss_model is not None:
+            raise BackendCapabilityError("backend 'async' does not support packet loss")
+        if config.track_history or config.run_to_max:
+            raise BackendCapabilityError(
+                "backend 'async' does not support track_history/run_to_max"
+            )
+        # The async stop rule is a quiet window over simulated time, not
+        # a per-step protocol — reject rather than silently ignore the
+        # synchronous stopping knobs when they differ from the defaults.
+        if config.patience != 3 or config.warmup_steps is not None:
+            raise BackendCapabilityError(
+                "backend 'async' uses a quiet-window stop rule; "
+                "patience/warmup_steps do not apply"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 2:
+            if values.shape[1] != 1:
+                raise BackendCapabilityError(
+                    "backend 'async' gossips scalar state only (one component)"
+                )
+            values = values.reshape(-1)
+            weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        engine = AsyncGossipEngine(
+            graph, push_counts=config.resolved_push_counts(graph), rng=rng
+        )
+        out = engine.run(
+            values, weights, xi=config.xi, max_time=float(config.max_steps)
+        )
+        n = graph.num_nodes
+        return GossipOutcome(
+            values=out.values.reshape(n, 1),
+            weights=out.weights.reshape(n, 1),
+            extras={},
+            steps=int(round(out.simulated_time)),
+            push_messages=out.total_pushes,
+            protocol_messages=0,
+            active_node_steps=out.total_pushes,
+            converged=np.full(n, out.converged, dtype=bool),
+        )
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: Dict[str, GossipBackend] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(
+    name: str,
+    backend: GossipBackend,
+    *,
+    aliases: Tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register ``backend`` under ``name`` (plus optional aliases).
+
+    Third-party engines plug in here; after registration the backend is
+    selectable everywhere a backend name is accepted — the
+    :func:`repro.aggregate` facade, the variant entry points, scenarios
+    and benchmarks.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if not overwrite:
+        # Validate every name before mutating anything, so a conflict
+        # never leaves a half-registered backend behind.
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"backend {name!r} is already registered (pass overwrite=True)")
+        for alias in aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise ValueError(f"backend alias {alias!r} is already registered")
+    _REGISTRY[name] = backend
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical registry name for ``name`` (resolving aliases)."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    catalogue = ", ".join(sorted(_REGISTRY) + sorted(_ALIASES))
+    raise UnknownBackendError(
+        f"unknown gossip backend/engine {name!r}; available: {catalogue}, auto"
+    )
+
+
+def get_backend(name: str) -> GossipBackend:
+    """Look up a registered backend by name or alias."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Canonical names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend("message", MessageBackend())
+register_backend("dense", DenseBackend(), aliases=("vector",))
+register_backend("sparse", SparseBackend(), aliases=("csr",))
+register_backend("async", AsyncBackend())
+
+
+# -- auto selection ---------------------------------------------------------
+
+#: ``"auto"`` runs the protocol-faithful message engine up to this size.
+AUTO_MESSAGE_MAX_NODES = 64
+#: ``"auto"`` runs the dense numpy engine up to this size...
+AUTO_DENSE_MAX_NODES = 20_000
+#: ...unless the graph is edge-heavy enough that the dense engine's
+#: per-hub Python sampling loop dominates.
+AUTO_DENSE_MAX_EDGES = 200_000
+
+
+def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> str:
+    """The ``"auto"`` policy: message → dense → sparse by size/density.
+
+    Tiny worlds get the protocol-faithful message engine (free fidelity
+    at that scale), experiment-scale graphs the dense numpy engine, and
+    large or edge-heavy graphs the CSR sparse engine. Configs that need
+    ``run_to_max`` skip the message engine (it does not support
+    fixed-budget runs).
+    """
+    n = graph.num_nodes
+    if n <= AUTO_MESSAGE_MAX_NODES and not (config is not None and config.run_to_max):
+        return "message"
+    if n <= AUTO_DENSE_MAX_NODES and graph.num_edges <= AUTO_DENSE_MAX_EDGES:
+        return "dense"
+    return "sparse"
+
+
+def run_backend(
+    graph: Graph,
+    values: np.ndarray,
+    weights: np.ndarray,
+    *,
+    extras: Optional[Dict[str, np.ndarray]] = None,
+    config: Optional[GossipConfig] = None,
+    backend: str = "auto",
+) -> GossipOutcome:
+    """Run one gossip round on a named (or auto-chosen) backend.
+
+    This is the single engine-execution path shared by the
+    :func:`repro.aggregate` facade, the four aggregation variants, the
+    baselines and the benchmarks.
+    """
+    config = config if config is not None else GossipConfig()
+    name = choose_backend_name(graph, config) if backend == "auto" else backend
+    return get_backend(name).run(graph, values, weights, extras=extras, config=config)

@@ -69,6 +69,49 @@ def push_counts(graph: Graph) -> np.ndarray:
     return k
 
 
+# Module-internal alias: resolve_push_counts' parameter shadows the name.
+push_counts_differential = push_counts
+
+
+def resolve_push_counts(
+    graph: Graph,
+    push_counts: np.ndarray | None = None,
+    *,
+    strict: bool = True,
+) -> np.ndarray:
+    """Default + validate per-node push counts for an engine constructor.
+
+    This is the single definition of the per-hub push-count contract the
+    gossip engines share (previously each engine re-implemented it):
+
+    - ``push_counts=None`` resolves to the differential rule
+      (:func:`push_counts`);
+    - an explicit array must be one integer per node;
+    - under ``strict`` (the vectorised engines), no count may exceed the
+      node's degree (pushes go to *distinct* neighbours) and every
+      non-isolated node must push at least once per step. The
+      message-level engine passes ``strict=False`` and clamps oversized
+      counts at send time instead.
+
+    Returns a fresh ``int64`` array of shape ``(num_nodes,)``.
+    """
+    if push_counts is None:
+        return push_counts_differential(graph)
+    counts = np.asarray(push_counts, dtype=np.int64)
+    if counts.shape != (graph.num_nodes,):
+        raise ValueError(
+            f"push_counts must have shape ({graph.num_nodes},), got {counts.shape}"
+        )
+    if strict:
+        if np.any(counts > graph.degrees):
+            raise ValueError(
+                "push_counts may not exceed node degree (pushes go to distinct neighbours)"
+            )
+        if np.any((counts < 1) & (graph.degrees > 0)):
+            raise ValueError("every non-isolated node must push at least once per step")
+    return counts.copy()
+
+
 def fixed_push_counts(graph: Graph, k: int) -> np.ndarray:
     """Uniform push counts (``k_i = k`` for all nodes), for baselines/ablations.
 

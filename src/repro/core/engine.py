@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.differential import push_counts as differential_push_counts
+from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError
 from repro.core.results import GossipOutcome
 from repro.core.state import UNDEFINED_RATIO
@@ -192,15 +192,9 @@ class MessageLevelGossip:
         rng: RngLike = None,
     ):
         self._graph = graph
-        self._push_counts = (
-            np.asarray(push_counts, dtype=np.int64)
-            if push_counts is not None
-            else differential_push_counts(graph)
-        )
-        if self._push_counts.shape != (graph.num_nodes,):
-            raise ValueError(
-                f"push_counts must have shape ({graph.num_nodes},), got {self._push_counts.shape}"
-            )
+        # Non-strict: this engine clamps oversized counts at send time
+        # (``node.k >= node.neighbors.size`` pushes to all neighbours).
+        self._push_counts = resolve_push_counts(graph, push_counts, strict=False)
         self._loss_model = loss_model
         self._rng = as_generator(rng)
 

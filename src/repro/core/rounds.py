@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import GossipConfig
 from repro.core.vector_gclr import VectorGclrResult, aggregate_vector_gclr
 from repro.core.weights import WeightParams
 from repro.network.graph import Graph
@@ -72,6 +73,10 @@ class GossipRoundManager:
     graph:
         Topology (fixed across rounds; churn is modelled at the message
         layer).
+    config:
+        Optional shared :class:`repro.core.backend.GossipConfig`; its
+        ``params``, ``delta``, ``xi`` and ``rng`` become the defaults
+        for the matching keyword arguments below.
     params:
         GCLR weighting constants.
     delta:
@@ -83,6 +88,9 @@ class GossipRoundManager:
         Clamp for the adaptive gap.
     adaptive:
         ``False`` reproduces the paper's constant-gap simplification.
+    backend:
+        Gossip backend each round runs on (any registered name or
+        ``"auto"``).
     rng:
         Seed / generator handed to each round's gossip.
 
@@ -101,15 +109,27 @@ class GossipRoundManager:
         self,
         graph: Graph,
         *,
-        params: WeightParams = WeightParams(),
-        delta: float = 0.05,
+        config: Optional[GossipConfig] = None,
+        params: Optional[WeightParams] = None,
+        delta: Optional[float] = None,
         base_gap: float = 25.0,
         min_gap: float = 5.0,
         max_gap: float = 100.0,
         adaptive: bool = True,
-        xi: float = 1e-5,
+        xi: Optional[float] = None,
+        backend: str = "dense",
         rng: RngLike = None,
     ):
+        # A shared GossipConfig supplies params / delta / xi / rng
+        # defaults; explicit keyword arguments still win.
+        if config is not None:
+            params = params if params is not None else config.params
+            delta = delta if delta is not None else config.delta
+            xi = xi if xi is not None else config.xi
+            rng = rng if rng is not None else config.rng
+        params = params if params is not None else WeightParams()
+        delta = delta if delta is not None else 0.05
+        xi = xi if xi is not None else 1e-5
         if delta < 0:
             raise ValueError(f"delta must be >= 0, got {delta}")
         check_positive(base_gap, "base_gap")
@@ -127,6 +147,7 @@ class GossipRoundManager:
         self._max_gap = float(max_gap)
         self._adaptive = bool(adaptive)
         self._xi = float(xi)
+        self._backend = backend
         self._rng = as_generator(rng)
         self._published: Dict[tuple, float] = {}
         self._clock = 0.0
@@ -176,6 +197,7 @@ class GossipRoundManager:
             targets=targets,
             params=self._params,
             xi=self._xi,
+            backend=self._backend,
             rng=int(self._rng.integers(2**62)),
         )
         gap = self._choose_gap(changed, total)

@@ -25,9 +25,8 @@ from typing import Literal, Optional
 
 import numpy as np
 
-from repro.core.engine import MessageLevelGossip
+from repro.core.backend import GossipConfig, run_backend
 from repro.core.results import GossipOutcome
-from repro.core.vector_engine import VectorGossipEngine
 from repro.core.weights import WeightParams, excess_weights
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
@@ -35,7 +34,9 @@ from repro.trust.matrix import TrustMatrix
 from repro.utils.rng import RngLike
 
 DenominatorConvention = Literal["observers", "all"]
-EngineName = Literal["vector", "message"]
+#: Any registered backend name ("dense", "message", "sparse", ...);
+#: "vector" remains as a registry alias of "dense".
+EngineName = str
 
 
 @dataclass
@@ -137,6 +138,28 @@ def pick_designated_node(graph: Graph) -> int:
     return int(candidates[0])
 
 
+def initial_state_single_gclr(
+    trust: TrustMatrix, target: int, designated: int
+) -> tuple:
+    """Initial ``(values, weights, counts)`` vectors for Algorithm 2.
+
+    Observers of ``target`` seed the value sum and the observer count;
+    exactly one ``designated`` node carries gossip weight 1 so every
+    ratio converges to a *sum*, not a mean. Exposed separately so the
+    :func:`repro.aggregate` facade, tests and baselines share the exact
+    initialisation.
+    """
+    n = trust.num_nodes
+    values = np.zeros(n, dtype=np.float64)
+    counts = np.zeros(n, dtype=np.float64)
+    for observer, value in trust.column(target).items():
+        values[observer] = value
+        counts[observer] = 1.0
+    weights = np.zeros(n, dtype=np.float64)
+    weights[designated] = 1.0
+    return values, weights, counts
+
+
 def aggregate_single_gclr(
     graph: Graph,
     trust: TrustMatrix,
@@ -146,6 +169,7 @@ def aggregate_single_gclr(
     xi: float = 1e-4,
     denominator_convention: DenominatorConvention = "observers",
     engine: EngineName = "vector",
+    backend: Optional[str] = None,
     designated_node: Optional[int] = None,
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,
@@ -196,28 +220,22 @@ def aggregate_single_gclr(
     if graph.degree(designated) == 0:
         raise ValueError(f"designated_node {designated} is isolated; gossip weight would be stranded")
 
-    values = np.zeros(n, dtype=np.float64)
-    counts = np.zeros(n, dtype=np.float64)
-    for observer, value in trust.column(target).items():
-        values[observer] = value
-        counts[observer] = 1.0
-    weights = np.zeros(n, dtype=np.float64)
-    weights[designated] = 1.0
-
-    if engine == "vector":
-        runner = VectorGossipEngine(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-    elif engine == "message":
-        runner = MessageLevelGossip(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-    else:
-        raise ValueError(f"engine must be 'vector' or 'message', got {engine!r}")
-    outcome = runner.run(
+    values, weights, counts = initial_state_single_gclr(trust, target, designated)
+    outcome = run_backend(
+        graph,
         values,
         weights,
-        xi=xi,
         extras={"count": counts},
-        max_steps=max_steps,
-        track_history=track_history,
-        patience=patience,
+        config=GossipConfig(
+            xi=xi,
+            push_counts=push_counts,
+            loss_model=loss_model,
+            rng=rng,
+            max_steps=max_steps,
+            track_history=track_history,
+            patience=patience,
+        ),
+        backend=backend if backend is not None else engine,
     )
 
     global_sum_estimates = outcome.estimates.reshape(-1)

@@ -21,16 +21,17 @@ from typing import Literal, Optional
 
 import numpy as np
 
-from repro.core.engine import MessageLevelGossip
+from repro.core.backend import GossipConfig, run_backend
 from repro.core.results import GossipOutcome
-from repro.core.vector_engine import VectorGossipEngine
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
 from repro.trust.matrix import TrustMatrix
 from repro.utils.rng import RngLike
 
 Convention = Literal["observers", "all"]
-EngineName = Literal["vector", "message"]
+#: Any registered backend name ("dense", "message", "sparse", ...);
+#: "vector" remains as a registry alias of "dense".
+EngineName = str
 
 
 @dataclass
@@ -100,6 +101,7 @@ def aggregate_single_global(
     xi: float = 1e-4,
     convention: Convention = "observers",
     engine: EngineName = "vector",
+    backend: Optional[str] = None,
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,
     rng: RngLike = None,
@@ -123,8 +125,12 @@ def aggregate_single_global(
         ``"observers"`` (Algorithm 1 pseudocode: average over opining
         nodes) or ``"all"`` (eq. 1: average over all ``N`` nodes).
     engine:
-        ``"vector"`` (numpy, scales to 50k nodes) or ``"message"``
-        (protocol-faithful object simulation for small N).
+        Backend name from :func:`repro.core.backend.available_backends`
+        (``"vector"`` is an alias of ``"dense"``). Kept for backwards
+        compatibility — prefer ``backend``.
+    backend:
+        Backend name (overrides ``engine``); ``"auto"`` picks by graph
+        size. See :func:`repro.aggregate` for the facade form.
     push_counts:
         Override the differential push counts (baselines/ablations).
     loss_model:
@@ -154,14 +160,21 @@ def aggregate_single_global(
         raise ValueError(f"target {target} outside 0..{graph.num_nodes - 1}")
 
     values, weights = initial_state_single_global(trust, target, convention)
-    if engine == "vector":
-        runner = VectorGossipEngine(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-        outcome = runner.run(values, weights, xi=xi, max_steps=max_steps, track_history=track_history, patience=patience)
-    elif engine == "message":
-        runner = MessageLevelGossip(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-        outcome = runner.run(values, weights, xi=xi, max_steps=max_steps, track_history=track_history, patience=patience)
-    else:
-        raise ValueError(f"engine must be 'vector' or 'message', got {engine!r}")
+    outcome = run_backend(
+        graph,
+        values,
+        weights,
+        config=GossipConfig(
+            xi=xi,
+            push_counts=push_counts,
+            loss_model=loss_model,
+            rng=rng,
+            max_steps=max_steps,
+            track_history=track_history,
+            patience=patience,
+        ),
+        backend=backend if backend is not None else engine,
+    )
 
     return SingleGlobalResult(
         target=target,

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.convergence import ConvergenceProtocol, deviation_vector
-from repro.core.differential import push_counts as differential_push_counts
+from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
 from repro.core.results import GossipOutcome
 from repro.core.state import MASS_RTOL, ratios
@@ -92,17 +92,7 @@ class VectorGossipEngine:
         if degree_announcements is None:
             degree_announcements = push_counts is None
         self._degree_announcements = bool(degree_announcements)
-        if push_counts is None:
-            push_counts = differential_push_counts(graph)
-        push_counts = np.asarray(push_counts, dtype=np.int64)
-        if push_counts.shape != (graph.num_nodes,):
-            raise ValueError(
-                f"push_counts must have shape ({graph.num_nodes},), got {push_counts.shape}"
-            )
-        if np.any(push_counts > graph.degrees):
-            raise ValueError("push_counts may not exceed node degree (pushes go to distinct neighbours)")
-        if np.any((push_counts < 1) & (graph.degrees > 0)):
-            raise ValueError("every non-isolated node must push at least once per step")
+        push_counts = resolve_push_counts(graph, push_counts)
         self._push_counts = push_counts
         self._loss_model = loss_model
         self._rng = as_generator(rng)

@@ -16,9 +16,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import GossipConfig, run_backend
 from repro.core.results import GossipOutcome
 from repro.core.single_gclr import DenominatorConvention, pick_designated_node
-from repro.core.vector_engine import VectorGossipEngine
 from repro.core.weights import WeightParams, excess_weights
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
@@ -118,6 +118,58 @@ def true_vector_gclr(
         return np.where(denominator > 0, (y_hat + sums[None, :]) / denominator, 0.0)
 
 
+def initial_state_vector_gclr(
+    trust: TrustMatrix, targets: Sequence[int], designated: int
+) -> tuple:
+    """Initial ``(values, weights, counts)`` matrices for variant 4.
+
+    Column ``c`` carries target ``targets[c]``'s value sum and observer
+    count; the single ``designated`` node holds gossip weight 1 in every
+    column. Exposed separately so the :func:`repro.aggregate` facade and
+    tests share the exact initialisation.
+    """
+    n = trust.num_nodes
+    target_array = np.asarray(list(targets), dtype=np.int64)
+    d = target_array.size
+    values = np.zeros((n, d), dtype=np.float64)
+    counts = np.zeros((n, d), dtype=np.float64)
+    for col, target in enumerate(target_array):
+        for observer, value in trust.column(int(target)).items():
+            values[observer, col] = value
+            counts[observer, col] = 1.0
+    weights = np.zeros((n, d), dtype=np.float64)
+    weights[designated, :] = 1.0
+    return values, weights, counts
+
+
+def gclr_reputations(
+    graph: Graph,
+    trust: TrustMatrix,
+    targets: np.ndarray,
+    outcome: GossipOutcome,
+    params: WeightParams,
+    denominator_convention: DenominatorConvention = "observers",
+) -> np.ndarray:
+    """Fold eq.-6 neighbour corrections into a finished gossip outcome.
+
+    Separating the post-processing from the gossip run lets any backend
+    (or the :func:`repro.aggregate` facade) produce the outcome while
+    the eq.-6 algebra stays in one place.
+    """
+    n = graph.num_nodes
+    sum_estimates = outcome.estimates  # (N, d): each approximates sum_i t_ij
+    count_estimates = outcome.extra_estimates("count")  # (N, d): approximates N_dj
+    y_hat, w_excess_sum = _neighbor_corrections_matrix(graph, trust, targets, params)
+
+    if denominator_convention == "observers":
+        count_term = count_estimates
+    else:
+        count_term = np.full((n, targets.size), float(n))
+    denominator = w_excess_sum[:, None] + count_term
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(denominator > 0, (y_hat + sum_estimates) / denominator, 0.0)
+
+
 def aggregate_vector_gclr(
     graph: Graph,
     trust: TrustMatrix,
@@ -126,6 +178,7 @@ def aggregate_vector_gclr(
     params: WeightParams = WeightParams(),
     xi: float = 1e-4,
     denominator_convention: DenominatorConvention = "observers",
+    backend: str = "dense",
     designated_node: Optional[int] = None,
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,
@@ -136,7 +189,8 @@ def aggregate_vector_gclr(
 ) -> VectorGclrResult:
     """Run variant 4: per-node calibrated reputations for all tracked targets.
 
-    Parameters combine those of variants 2 and 3; see
+    Parameters combine those of variants 2 and 3 (``backend`` names any
+    registered gossip backend, or ``"auto"``); see
     :func:`repro.core.single_gclr.aggregate_single_gclr` and
     :func:`repro.core.vector_global.aggregate_vector_global`.
 
@@ -173,38 +227,26 @@ def aggregate_vector_gclr(
     if not 0 <= designated < n or graph.degree(designated) == 0:
         raise ValueError(f"designated_node {designated} must be a non-isolated node id")
 
-    d = target_array.size
-    values = np.zeros((n, d), dtype=np.float64)
-    counts = np.zeros((n, d), dtype=np.float64)
-    for col, target in enumerate(target_array):
-        for observer, value in trust.column(int(target)).items():
-            values[observer, col] = value
-            counts[observer, col] = 1.0
-    weights = np.zeros((n, d), dtype=np.float64)
-    weights[designated, :] = 1.0
-
-    engine = VectorGossipEngine(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-    outcome = engine.run(
+    values, weights, counts = initial_state_vector_gclr(trust, target_array, designated)
+    outcome = run_backend(
+        graph,
         values,
         weights,
-        xi=xi,
         extras={"count": counts},
-        max_steps=max_steps,
-        track_history=track_history,
-        patience=patience,
+        config=GossipConfig(
+            xi=xi,
+            push_counts=push_counts,
+            loss_model=loss_model,
+            rng=rng,
+            max_steps=max_steps,
+            track_history=track_history,
+            patience=patience,
+        ),
+        backend=backend,
     )
-
-    sum_estimates = outcome.estimates  # (N, d): each approximates sum_i t_ij
-    count_estimates = outcome.extra_estimates("count")  # (N, d): approximates N_dj
-    y_hat, w_excess_sum = _neighbor_corrections_matrix(graph, trust, target_array, params)
-
-    if denominator_convention == "observers":
-        count_term = count_estimates
-    else:
-        count_term = np.full((n, d), float(n))
-    denominator = w_excess_sum[:, None] + count_term
-    with np.errstate(invalid="ignore", divide="ignore"):
-        reputations = np.where(denominator > 0, (y_hat + sum_estimates) / denominator, 0.0)
+    reputations = gclr_reputations(
+        graph, trust, target_array, outcome, params, denominator_convention
+    )
 
     return VectorGclrResult(
         targets=target_array,

@@ -19,9 +19,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.backend import GossipConfig, run_backend
 from repro.core.results import GossipOutcome
 from repro.core.single_global import Convention
-from repro.core.vector_engine import VectorGossipEngine
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
 from repro.trust.matrix import TrustMatrix
@@ -85,6 +85,7 @@ def aggregate_vector_global(
     targets: Optional[Sequence[int]] = None,
     xi: float = 1e-4,
     convention: Convention = "observers",
+    backend: str = "dense",
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,
     rng: RngLike = None,
@@ -105,6 +106,9 @@ def aggregate_vector_global(
         Eq.-7 tolerance (per-node threshold is ``d * xi``).
     convention:
         See :mod:`repro.core.single_global`.
+    backend:
+        Gossip backend name (or ``"auto"``); see
+        :func:`repro.core.backend.available_backends`.
     Other parameters as in
     :func:`repro.core.single_global.aggregate_single_global`.
     """
@@ -123,8 +127,21 @@ def aggregate_vector_global(
         raise ValueError("targets must be distinct")
 
     values, weights = initial_state_vector_global(trust, target_array, convention)
-    engine = VectorGossipEngine(graph, push_counts=push_counts, loss_model=loss_model, rng=rng)
-    outcome = engine.run(values, weights, xi=xi, max_steps=max_steps, track_history=track_history, patience=patience)
+    outcome = run_backend(
+        graph,
+        values,
+        weights,
+        config=GossipConfig(
+            xi=xi,
+            push_counts=push_counts,
+            loss_model=loss_model,
+            rng=rng,
+            max_steps=max_steps,
+            track_history=track_history,
+            patience=patience,
+        ),
+        backend=backend,
+    )
 
     if convention == "observers":
         true_values = np.array(

@@ -18,12 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.analysis.metrics import average_rms_error
-from repro.attacks.collusion import CollusionAttack, apply_collusion, group_colluders, select_colluders
-from repro.baselines.gossip_trust import unweighted_global_estimate
-from repro.core.vector_gclr import aggregate_vector_gclr, true_vector_gclr
+from repro.attacks.collusion import CollusionAttack, group_colluders, select_colluders
+from repro.attacks.evaluate import collusion_impact
+from repro.core.backend import GossipConfig
 from repro.core.weights import WeightParams
 from repro.network.graph import Graph
 from repro.network.preferential_attachment import preferential_attachment_graph
@@ -99,8 +96,13 @@ def measure_collusion(
     use_gossip: bool = True,
     xi: float = 1e-5,
     seed: int = 0,
+    backend: str = "dense",
 ) -> tuple:
     """Measure eq.-18 RMS error for one concrete attack.
+
+    Thin wrapper over :func:`repro.attacks.evaluate.collusion_impact`
+    (the unified-backend measurement), kept for the tuple return shape
+    the figure experiments consume.
 
     Parameters
     ----------
@@ -119,6 +121,8 @@ def measure_collusion(
         handy for large sweeps and repeated benchmark iterations.
     xi, seed:
         Gossip controls (ignored when ``use_gossip`` is False).
+    backend:
+        Registered gossip backend the rounds run on.
 
     Returns
     -------
@@ -126,33 +130,17 @@ def measure_collusion(
         Eq.-18 errors for the weighted scheme and the unweighted
         comparator.
     """
-    n = graph.num_nodes
-    if targets is None:
-        targets = range(n)
-    target_list = list(targets)
-    poisoned = apply_collusion(trust, attack)
-
-    if use_gossip:
-        clean = aggregate_vector_gclr(
-            graph, trust, targets=target_list, params=params,
-            denominator_convention="all", xi=xi, rng=seed,
-        ).reputations
-        dirty = aggregate_vector_gclr(
-            graph, poisoned, targets=target_list, params=params,
-            denominator_convention="all", xi=xi, rng=seed,
-        ).reputations
-    else:
-        clean = true_vector_gclr(graph, trust, target_list, params, "all")
-        dirty = true_vector_gclr(graph, poisoned, target_list, params, "all")
-
-    rms_gclr = average_rms_error(dirty, clean)
-
-    clean_unweighted = unweighted_global_estimate(trust)[target_list]
-    dirty_unweighted = unweighted_global_estimate(poisoned)[target_list]
-    rms_unweighted = average_rms_error(
-        np.tile(dirty_unweighted, (n, 1)), np.tile(clean_unweighted, (n, 1))
+    impact = collusion_impact(
+        graph,
+        trust,
+        attack,
+        params=params,
+        targets=targets,
+        use_gossip=use_gossip,
+        config=GossipConfig(xi=xi, rng=seed),
+        backend=backend,
     )
-    return rms_gclr, rms_unweighted
+    return impact.rms_gclr, impact.rms_unweighted
 
 
 def sweep_collusion(
@@ -166,6 +154,7 @@ def sweep_collusion(
     xi: float = 1e-5,
     seed: int = 0,
     m: int = 2,
+    backend: str = "dense",
 ) -> list:
     """Full (fraction x group size) sweep; returns CollusionMeasurement list."""
     root = as_generator(seed)
@@ -192,6 +181,7 @@ def sweep_collusion(
                 use_gossip=use_gossip,
                 xi=xi,
                 seed=int(root.integers(2**62)),
+                backend=backend,
             )
             measurements.append(
                 CollusionMeasurement(

@@ -18,12 +18,10 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.theory import convergence_steps_bound
-from repro.baselines.push_sum import normal_push_engine
-from repro.core.vector_engine import VectorGossipEngine
+from repro.core.backend import GossipConfig
 from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+from repro.facade import aggregate
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.utils.rng import as_generator
 
@@ -38,8 +36,14 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 11,
     m: int = 2,
+    backend: str = "dense",
 ) -> ExperimentResult:
-    """Regenerate Figure 3 as a table (one row per (N, xi) pair)."""
+    """Regenerate Figure 3 as a table (one row per (N, xi) pair).
+
+    ``backend`` names any registered gossip backend (or ``"auto"``);
+    both the differential run and the normal-push baseline go through
+    the :func:`repro.aggregate` facade.
+    """
     if sizes is None:
         sizes = FULL_SIZES if full_scale_enabled() else QUICK_SIZES
     root = as_generator(seed)
@@ -50,16 +54,19 @@ def run(
             graph_rng = as_generator(int(root.integers(2**62)))
             graph = preferential_attachment_graph(n, m=m, rng=graph_rng)
             values = graph_rng.random(n)
-            weights = np.ones(n)
             for xi in xis:
-                diff_engine = VectorGossipEngine(
-                    graph, rng=as_generator(int(root.integers(2**62)))
+                diff = aggregate(
+                    graph,
+                    values,
+                    GossipConfig(xi=xi, rng=as_generator(int(root.integers(2**62)))),
+                    backend=backend,
                 )
-                diff = diff_engine.run(values, weights, xi=xi)
-                push_engine = normal_push_engine(
-                    graph, rng=as_generator(int(root.integers(2**62)))
+                push = aggregate(
+                    graph,
+                    values,
+                    GossipConfig(xi=xi, k=1, rng=as_generator(int(root.integers(2**62)))),
+                    backend=backend,
                 )
-                push = push_engine.run(values, weights, xi=xi)
                 rows.append(
                     [
                         n,

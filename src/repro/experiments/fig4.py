@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.vector_engine import VectorGossipEngine
+from repro.core.backend import GossipConfig
 from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+from repro.facade import aggregate
 from repro.network.churn import PacketLossModel
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.utils.rng import as_generator
@@ -34,6 +33,7 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 13,
     m: int = 2,
+    backend: str = "dense",
 ) -> ExperimentResult:
     """Regenerate Figure 4 (one row per loss probability, one column per xi)."""
     if num_nodes is None:
@@ -42,7 +42,6 @@ def run(
     graph_rng = as_generator(int(root.integers(2**62)))
     graph = preferential_attachment_graph(num_nodes, m=m, rng=graph_rng)
     values = graph_rng.random(num_nodes)
-    weights = np.ones(num_nodes)
 
     rows: List[list] = []
     with Stopwatch() as watch:
@@ -50,12 +49,16 @@ def run(
             row: list = [f"p={loss:g}"]
             for xi in xis:
                 loss_model = PacketLossModel(loss, rng=as_generator(int(root.integers(2**62))))
-                engine = VectorGossipEngine(
+                outcome = aggregate(
                     graph,
-                    loss_model=loss_model,
-                    rng=as_generator(int(root.integers(2**62))),
+                    values,
+                    GossipConfig(
+                        xi=xi,
+                        loss_model=loss_model,
+                        rng=as_generator(int(root.integers(2**62))),
+                    ),
+                    backend=backend,
                 )
-                outcome = engine.run(values, weights, xi=xi)
                 row.append(outcome.steps)
             rows.append(row)
 

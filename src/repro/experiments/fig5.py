@@ -31,6 +31,7 @@ def run(
     group_sizes: Sequence[int] = GROUP_SIZES,
     use_gossip: bool = True,
     seed: int = 17,
+    backend: str = "dense",
 ) -> ExperimentResult:
     """Regenerate Figure 5 (rows: colluding fraction; column pair per G)."""
     if num_nodes is None:
@@ -42,6 +43,7 @@ def run(
             group_sizes,
             use_gossip=use_gossip,
             seed=seed,
+            backend=backend,
         )
 
     by_key = {(m.group_size, m.fraction): m for m in measurements}

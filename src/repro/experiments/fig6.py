@@ -26,6 +26,7 @@ def run(
     fractions: Sequence[float] = FRACTIONS,
     use_gossip: bool = True,
     seed: int = 19,
+    backend: str = "dense",
 ) -> ExperimentResult:
     """Regenerate Figure 6 (rows: colluding fraction; G fixed at 1)."""
     if num_nodes is None:
@@ -37,6 +38,7 @@ def run(
             group_sizes=(1,),
             use_gossip=use_gossip,
             seed=seed,
+            backend=backend,
         )
 
     rows: List[list] = [

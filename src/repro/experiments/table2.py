@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.vector_engine import VectorGossipEngine
+from repro.core.backend import GossipConfig
 from repro.experiments.runner import ExperimentResult, Stopwatch, full_scale_enabled
+from repro.facade import aggregate
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.utils.rng import as_generator
 
@@ -30,6 +29,7 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 7,
     m: int = 2,
+    backend: str = "dense",
 ) -> ExperimentResult:
     """Regenerate Table 2 over the requested grid.
 
@@ -44,6 +44,8 @@ def run(
         Base seed; each (N, xi) cell derives its own child stream.
     m:
         PA attachment parameter.
+    backend:
+        Registered gossip backend the rounds run on (or ``"auto"``).
     """
     if sizes is None:
         sizes = FULL_SIZES if full_scale_enabled() else QUICK_SIZES
@@ -59,8 +61,12 @@ def run(
             values = graph_rng.random(n)
             row: list = [n]
             for xi in xis:
-                engine = VectorGossipEngine(graph, rng=as_generator(int(root.integers(2**62))))
-                outcome = engine.run(values, np.ones(n), xi=xi)
+                outcome = aggregate(
+                    graph,
+                    values,
+                    GossipConfig(xi=xi, rng=as_generator(int(root.integers(2**62)))),
+                    backend=backend,
+                )
                 row.append(outcome.messages_per_node_per_step)
             rows.append(row)
 

@@ -18,8 +18,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.analysis.sweeps import replicate
-from repro.core.vector_engine import VectorGossipEngine
+from repro.core.backend import GossipConfig
 from repro.experiments.runner import ExperimentResult, Stopwatch
+from repro.facade import aggregate
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.utils.rng import as_generator
 
@@ -33,6 +34,7 @@ def run(
     repetitions: int = 5,
     seed: int = 37,
     m: int = 2,
+    backend: str = "dense",
 ) -> ExperimentResult:
     """Measure achieved estimation error vs the stopping tolerance ξ."""
     root = as_generator(seed)
@@ -42,8 +44,9 @@ def run(
 
     def make_measure(xi: float):
         def measure(run_seed: int):
-            engine = VectorGossipEngine(graph, rng=run_seed)
-            outcome = engine.run(values, np.ones(num_nodes), xi=xi)
+            outcome = aggregate(
+                graph, values, GossipConfig(xi=xi, rng=run_seed), backend=backend
+            )
             errors = np.abs(outcome.estimates.reshape(-1) - truth) / abs(truth)
             return {
                 "max_error": float(errors.max()),

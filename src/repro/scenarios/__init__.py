@@ -1,0 +1,42 @@
+"""Composable scenario layer: topology × workload × churn × attack × backend.
+
+Scenarios are data (:class:`~repro.scenarios.spec.Scenario`), executed
+through the :func:`repro.aggregate` facade so every registered gossip
+backend can carry every workload. Four scenarios ship seeded
+(``static-powerlaw``, ``churn-heavy``, ``collusion-under-churn``,
+``free-riding-500k``); register more with
+:func:`~repro.scenarios.spec.register_scenario`.
+
+Run from the command line::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run static-powerlaw --small
+    python -m repro.scenarios run all --small --seed 7
+"""
+
+from repro.scenarios.spec import (
+    AttackSpec,
+    ChurnSpec,
+    Scenario,
+    ScenarioResult,
+    TopologySpec,
+    WorkloadSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.scenarios import library  # noqa: F401  (registers the seeded catalogue)
+
+__all__ = [
+    "AttackSpec",
+    "ChurnSpec",
+    "Scenario",
+    "ScenarioResult",
+    "TopologySpec",
+    "WorkloadSpec",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,385 @@
+"""Composable scenario specifications.
+
+A scenario is the cross product the ROADMAP asks for: **topology ×
+workload × churn × attack × backend**, captured as data. Each axis is a
+small frozen spec; :func:`run_scenario` interprets the combination
+through the :func:`repro.aggregate` facade, so any scenario runs on any
+registered gossip backend without new plumbing — adding a workload or a
+topology kind here opens it to every backend at once.
+
+Every scenario has a full-scale shape and a ``--small`` shape (the CI
+smoke size); both are fully seeded, so a scenario run is reproducible
+from ``(name, seed, small)`` alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.backend import GossipConfig, choose_backend_name, resolve_backend_name
+from repro.facade import aggregate
+from repro.network.graph import Graph
+from repro.utils.rng import as_generator
+
+TOPOLOGY_KINDS = ("powerlaw", "erdos-renyi", "random-regular", "example")
+WORKLOAD_KINDS = ("mean", "trust-global", "trust-gclr", "free-riding")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which overlay graph the scenario runs on.
+
+    ``small_num_nodes`` is the ``--small`` (CI smoke) size; everything
+    else about the topology is scale-invariant.
+    """
+
+    kind: str = "powerlaw"
+    num_nodes: int = 1000
+    small_num_nodes: int = 200
+    m: int = 2  # preferential attachment
+    p: float = 0.02  # erdos-renyi edge probability
+    degree: int = 4  # random-regular
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(f"topology kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}")
+
+    def size(self, small: bool) -> int:
+        """Node count at the requested scale."""
+        return self.small_num_nodes if small else self.num_nodes
+
+    def build(self, rng, *, small: bool = False) -> Graph:
+        """Construct the graph at the requested scale."""
+        n = self.size(small)
+        if self.kind == "powerlaw":
+            from repro.network.preferential_attachment import preferential_attachment_graph
+
+            return preferential_attachment_graph(n, m=self.m, rng=rng)
+        if self.kind == "erdos-renyi":
+            from repro.network.random_graphs import erdos_renyi_graph
+
+            return erdos_renyi_graph(n, self.p, rng=rng)
+        if self.kind == "random-regular":
+            from repro.network.random_graphs import random_regular_graph
+
+            return random_regular_graph(n, self.degree, rng=rng)
+        from repro.network.topology_example import example_network
+
+        return example_network()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What gets aggregated.
+
+    - ``"mean"``: every node holds one uniform random observation; the
+      round estimates the global mean (Section 5.1's uniform-gossip
+      setting).
+    - ``"trust-global"``: a trust matrix is aggregated with the
+      vector-global variant over sampled target columns.
+    - ``"trust-gclr"``: full Differential Gossip Trust (vector-gclr)
+      measured as eq.-18 RMS error of a poisoned run against a clean
+      run (requires an :class:`AttackSpec`).
+    - ``"free-riding"``: nodes carry contribution scores with a
+      free-riding minority; the round estimates the network-wide mean
+      contribution each node compares itself against.
+    """
+
+    kind: str = "mean"
+    num_targets: int = 20
+    observations: str = "edge-local"  # edge-local | complete
+    free_rider_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(f"workload kind must be one of {WORKLOAD_KINDS}, got {self.kind!r}")
+        if self.observations not in ("edge-local", "complete"):
+            raise ValueError(
+                f"observations must be 'edge-local' or 'complete', got {self.observations!r}"
+            )
+        if not 0.0 < self.free_rider_fraction < 1.0:
+            raise ValueError(
+                f"free_rider_fraction must be in (0, 1), got {self.free_rider_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Message-layer churn: per-push loss probability (Section 5.3)."""
+
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(f"loss_probability must be in [0, 1], got {self.loss_probability}")
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """Collusion adversary (Section 5.2): fraction of peers, group size."""
+
+    fraction: float = 0.3
+    group_size: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named point in topology × workload × churn × attack × backend."""
+
+    name: str
+    description: str
+    topology: TopologySpec
+    workload: WorkloadSpec
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    attack: Optional[AttackSpec] = None
+    backend: str = "auto"
+    xi: float = 1e-5
+    max_steps: int = 20_000
+    seed: int = 2016
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.workload.kind == "trust-gclr" and self.attack is None:
+            raise ValueError("trust-gclr scenarios measure an attack; provide AttackSpec")
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced."""
+
+    name: str
+    backend: str
+    small: bool
+    num_nodes: int
+    num_edges: int
+    steps: int
+    push_messages: int
+    converged_fraction: float
+    metrics: Dict[str, float]
+    elapsed_seconds: float
+    notes: List[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Human-readable report block."""
+        lines = [
+            f"scenario: {self.name}{'  [small]' if self.small else ''}",
+            f"  backend={self.backend}  N={self.num_nodes}  E={self.num_edges}",
+            f"  steps={self.steps}  push_messages={self.push_messages}  "
+            f"converged={self.converged_fraction:.1%}",
+        ]
+        for key in sorted(self.metrics):
+            lines.append(f"  {key} = {self.metrics[key]:.6g}")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        lines.append(f"  elapsed: {self.elapsed_seconds:.2f}s")
+        return "\n".join(lines)
+
+
+# -- registry ---------------------------------------------------------------
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, *, overwrite: bool = False) -> Scenario:
+    """Add ``scenario`` to the catalogue (returned for chaining)."""
+    if not overwrite and scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario; KeyError lists the catalogue."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        available = ", ".join(sorted(_SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; available: {available}") from None
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """Names of all registered scenarios, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+# -- execution --------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: Union[Scenario, str],
+    *,
+    small: bool = False,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> ScenarioResult:
+    """Execute one scenario and summarise it.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`Scenario` or a registered name.
+    small:
+        Run the scenario's CI-smoke shape instead of full scale.
+    seed:
+        Override the scenario's seed (one seed determines the whole
+        run: topology, workload, gossip, churn, attack).
+    backend:
+        Override the scenario's backend (any registered name or
+        ``"auto"``).
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    root = as_generator(scenario.seed if seed is None else seed)
+    graph = scenario.topology.build(
+        as_generator(int(root.integers(2**62))), small=small
+    )
+    backend_name = backend if backend is not None else scenario.backend
+    resolved = (
+        choose_backend_name(graph)
+        if backend_name == "auto"
+        else resolve_backend_name(backend_name)
+    )
+    config = GossipConfig(
+        xi=scenario.xi,
+        max_steps=scenario.max_steps,
+        loss_probability=scenario.churn.loss_probability,
+        rng=int(root.integers(2**62)),
+    )
+
+    start = time.perf_counter()
+    kind = scenario.workload.kind
+    if kind == "mean":
+        outcome, metrics, notes = _run_mean(scenario, graph, config, resolved, root)
+    elif kind == "trust-global":
+        outcome, metrics, notes = _run_trust_global(scenario, graph, config, resolved, root)
+    elif kind == "trust-gclr":
+        outcome, metrics, notes = _run_trust_gclr(scenario, graph, config, resolved, root)
+    else:
+        outcome, metrics, notes = _run_free_riding(scenario, graph, config, resolved, root)
+    elapsed = time.perf_counter() - start
+
+    return ScenarioResult(
+        name=scenario.name,
+        backend=resolved,
+        small=small,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        steps=outcome.steps,
+        push_messages=outcome.push_messages,
+        converged_fraction=float(np.mean(outcome.converged)),
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+        notes=notes,
+    )
+
+
+def _run_mean(scenario, graph, config, backend, root):
+    """Uniform-gossip mean estimation (optionally under churn)."""
+    n = graph.num_nodes
+    values = as_generator(int(root.integers(2**62))).random(n)
+    truth = float(values.mean())
+    outcome = aggregate(graph, values, config, backend=backend)
+    errors = np.abs(outcome.estimates.reshape(-1) - truth)
+    metrics = {
+        "true_mean": truth,
+        "max_abs_error": float(errors.max()),
+        "mean_abs_error": float(errors.mean()),
+        "loss_probability": scenario.churn.loss_probability,
+    }
+    notes = ["mass-conserving self-push repair keeps the estimate exact under churn"]
+    return outcome, metrics, notes
+
+
+def _run_trust_global(scenario, graph, config, backend, root):
+    """Vector-global reputation aggregation over sampled targets."""
+    from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
+
+    n = graph.num_nodes
+    if scenario.workload.observations == "complete":
+        trust = complete_trust_matrix(n, rng=as_generator(int(root.integers(2**62))))
+    else:
+        trust = random_trust_matrix(graph, rng=as_generator(int(root.integers(2**62))))
+    num_targets = min(scenario.workload.num_targets, n)
+    target_rng = as_generator(int(root.integers(2**62)))
+    targets = sorted(int(t) for t in target_rng.choice(n, size=num_targets, replace=False))
+    outcome = aggregate(
+        graph, trust, config, backend=backend, variant="vector-global", targets=targets
+    )
+    true_values = np.array([trust.column_mean_over_observers(t) for t in targets])
+    scale = np.where(np.abs(true_values) > 0, np.abs(true_values), 1.0)
+    rel = np.abs(outcome.estimates - true_values[None, :]) / scale[None, :]
+    metrics = {
+        "num_targets": float(num_targets),
+        "max_rel_error": float(rel.max()),
+        "mean_rel_error": float(rel.mean()),
+    }
+    return outcome, metrics, [f"{scenario.workload.observations} trust observations"]
+
+
+def _run_trust_gclr(scenario, graph, config, backend, root):
+    """Full DGT under a collusion attack (eq.-18 RMS error), clean vs dirty."""
+    from repro.attacks.collusion import group_colluders, select_colluders
+    from repro.attacks.evaluate import collusion_impact
+    from repro.trust.matrix import complete_trust_matrix
+
+    n = graph.num_nodes
+    trust = complete_trust_matrix(n, rng=as_generator(int(root.integers(2**62))))
+    colluders = select_colluders(
+        n, scenario.attack.fraction, rng=as_generator(int(root.integers(2**62)))
+    )
+    attack = group_colluders(colluders, scenario.attack.group_size)
+    num_targets = min(scenario.workload.num_targets, n)
+    target_rng = as_generator(int(root.integers(2**62)))
+    targets = sorted(int(t) for t in target_rng.choice(n, size=num_targets, replace=False))
+    impact = collusion_impact(
+        graph, trust, attack, targets=targets, config=config, backend=backend
+    )
+    metrics = {
+        "rms_gclr": impact.rms_gclr,
+        "rms_unweighted": impact.rms_unweighted,
+        "num_colluders": float(attack.num_colluders),
+        "loss_probability": scenario.churn.loss_probability,
+    }
+    notes = [
+        f"collusion fraction={scenario.attack.fraction:g}, G={scenario.attack.group_size}; "
+        "identical seeds for clean/poisoned runs (gossip noise cancels)",
+    ]
+    return impact.clean_outcome, metrics, notes
+
+
+def _run_free_riding(scenario, graph, config, backend, root):
+    """Free-riding detection: each node compares itself to the gossiped mean."""
+    n = graph.num_nodes
+    rng = as_generator(int(root.integers(2**62)))
+    free_riders = rng.random(n) < scenario.workload.free_rider_fraction
+    # Contribution scores: cooperative peers share generously, free
+    # riders barely at all (the Section-3 rational-peer spectrum).
+    scores = 0.55 + 0.45 * rng.random(n)
+    scores[free_riders] = 0.15 * rng.random(int(free_riders.sum()))
+    truth = float(scores.mean())
+    outcome = aggregate(graph, scores, config, backend=backend)
+    estimates = outcome.estimates.reshape(-1)
+    # A node "starves" a requester whose contribution sits far below the
+    # network mean it learned via gossip.
+    flagged = scores < 0.5 * estimates
+    detection = float(flagged[free_riders].mean()) if free_riders.any() else 0.0
+    false_pos = float(flagged[~free_riders].mean()) if (~free_riders).any() else 0.0
+    metrics = {
+        "true_mean_contribution": truth,
+        "max_abs_error": float(np.abs(estimates - truth).max()),
+        "free_rider_fraction": float(free_riders.mean()),
+        "detection_rate": detection,
+        "false_positive_rate": false_pos,
+    }
+    notes = ["free riders flagged by their own locally gossiped mean-contribution estimate"]
+    return outcome, metrics, notes

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.attacks.whitewashing import WhitewashingModel
-from repro.core.vector_gclr import true_vector_gclr
+from repro.core.vector_gclr import aggregate_vector_gclr, true_vector_gclr
 from repro.core.weights import WeightParams
 from repro.network.graph import Graph
 from repro.simulation.events import EventScheduler
@@ -73,6 +73,14 @@ class SimulationConfig:
         dynamically adjusting the initial value).
     gclr_params:
         Weighting constants for the aggregation rounds.
+    aggregation_backend:
+        ``None`` (default) computes each round's reputations as the
+        exact eq.-6 fixpoint; a registered gossip backend name (or
+        ``"auto"``) runs the actual differential gossip round through
+        :func:`repro.aggregate` instead, so gossip noise reaches the
+        service-allocation decisions.
+    aggregation_xi:
+        Gossip tolerance when ``aggregation_backend`` is set.
     """
 
     num_files: int = 200
@@ -85,6 +93,8 @@ class SimulationConfig:
     reputation_threshold: float = 0.4
     newcomer_service_probability: float = 0.15
     gclr_params: WeightParams = field(default_factory=WeightParams)
+    aggregation_backend: Optional[str] = None
+    aggregation_xi: float = 1e-4
 
     def __post_init__(self) -> None:
         check_positive(self.num_files, "num_files")
@@ -94,6 +104,7 @@ class SimulationConfig:
         check_positive(self.horizon, "horizon")
         check_probability(self.reputation_threshold, "reputation_threshold")
         check_probability(self.newcomer_service_probability, "newcomer_service_probability")
+        check_positive(self.aggregation_xi, "aggregation_xi")
         if self.query_ttl < 1:
             raise ValueError(f"query_ttl must be >= 1, got {self.query_ttl}")
         if self.zipf_exponent < 0:
@@ -220,6 +231,7 @@ class FileSharingSimulation:
         self._rng_workload = spawn_child(root, key=1)
         self._rng_service = spawn_child(root, key=2)
         self._rng_arrivals = spawn_child(root, key=3)
+        self._rng_gossip = spawn_child(root, key=4)
 
         self._catalog = FileCatalog(config.num_files, zipf_exponent=config.zipf_exponent)
         sharing = np.array([p.sharing_fraction for p in profiles])
@@ -403,17 +415,30 @@ class FileSharingSimulation:
     def _aggregation_event(self, _scheduler: EventScheduler) -> None:
         """One Differential-Gossip-Trust round over current direct trust.
 
-        The exact eq.-6 fixpoint is used rather than a full gossip
-        simulation: the gossip engines are validated to converge to it
-        (see tests), and the workload simulation only needs the result.
+        By default the exact eq.-6 fixpoint is used rather than a full
+        gossip simulation: the gossip engines are validated to converge
+        to it (see tests), and the workload simulation only needs the
+        result. With ``config.aggregation_backend`` set, the round runs
+        real differential gossip on that backend instead.
         """
         trust = self.trust_matrix()
-        self._reputation_matrix = true_vector_gclr(
-            self._graph,
-            trust,
-            targets=range(self._graph.num_nodes),
-            params=self._config.gclr_params,
-        )
+        if self._config.aggregation_backend is None:
+            self._reputation_matrix = true_vector_gclr(
+                self._graph,
+                trust,
+                targets=range(self._graph.num_nodes),
+                params=self._config.gclr_params,
+            )
+        else:
+            self._reputation_matrix = aggregate_vector_gclr(
+                self._graph,
+                trust,
+                targets=range(self._graph.num_nodes),
+                params=self._config.gclr_params,
+                xi=self._config.aggregation_xi,
+                rng=int(self._rng_gossip.integers(2**62)),
+                backend=self._config.aggregation_backend,
+            ).reputations
         self._aggregation_rounds += 1
 
     def _handle_whitewash(self, peer_id: int) -> None:

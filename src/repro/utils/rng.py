@@ -64,6 +64,26 @@ def spawn_child(rng: np.random.Generator, key: Optional[int] = None) -> np.rando
     return np.random.default_rng(int(seed))
 
 
+def stateless_child_sequence(
+    root: np.random.SeedSequence, key: int
+) -> np.random.SeedSequence:
+    """Child ``SeedSequence`` derived from ``(root entropy, key)`` only.
+
+    Built exactly as ``root.spawn()`` would build child ``key`` for a
+    fresh root (spawn_key extended, pool_size inherited) but without
+    mutating the root's spawn counter, so the child depends on nothing
+    but the root entropy and the key. Note the children of
+    :func:`spawn_seed_sequences` occupy keys ``0..count-1`` of the same
+    keyspace — subsystem streams derived with this helper should use
+    large keys (``> 2**32 - 2**16``, say) that no sweep will reach.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=root.spawn_key + (int(key),),
+        pool_size=root.pool_size,
+    )
+
+
 def spawn_seed_sequences(master_seed: RngLike, count: int) -> List[np.random.SeedSequence]:
     """Spawn ``count`` independent child :class:`~numpy.random.SeedSequence` streams.
 
@@ -112,16 +132,7 @@ def spawn_seed_sequences(master_seed: RngLike, count: int) -> List[np.random.See
         root = master_seed
     else:
         root = np.random.SeedSequence(master_seed)
-    # Build each child exactly as root.spawn() would for a fresh root
-    # (spawn_key extended by the child index, pool_size inherited), but
-    # statelessly: the root's spawn counter is left untouched, so child
-    # i depends only on (root entropy, i) — never on how often the root
-    # was used before.
-    return [
-        np.random.SeedSequence(
-            entropy=root.entropy,
-            spawn_key=root.spawn_key + (i,),
-            pool_size=root.pool_size,
-        )
-        for i in range(count)
-    ]
+    # Stateless children: the root's spawn counter is left untouched,
+    # so child i depends only on (root entropy, i) — never on how often
+    # the root was used before.
+    return [stateless_child_sequence(root, i) for i in range(count)]

@@ -1,0 +1,154 @@
+"""Scenario layer: specs, registry, runner and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    AttackSpec,
+    ChurnSpec,
+    Scenario,
+    TopologySpec,
+    WorkloadSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+)
+from repro.scenarios.__main__ import main as scenarios_main
+
+SEEDED = ("static-powerlaw", "churn-heavy", "collusion-under-churn", "free-riding-500k")
+
+
+class TestCatalogue:
+    def test_seeded_scenarios_registered(self):
+        names = available_scenarios()
+        for expected in SEEDED:
+            assert expected in names
+
+    def test_unknown_scenario_lists_catalogue(self):
+        with pytest.raises(KeyError, match="static-powerlaw"):
+            get_scenario("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("static-powerlaw")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(scenario)
+
+
+class TestSpecValidation:
+    def test_bad_topology_kind(self):
+        with pytest.raises(ValueError, match="topology kind"):
+            TopologySpec(kind="torus")
+
+    def test_bad_workload_kind(self):
+        with pytest.raises(ValueError, match="workload kind"):
+            WorkloadSpec(kind="bogus")
+
+    def test_bad_churn_probability(self):
+        with pytest.raises(ValueError, match="loss_probability"):
+            ChurnSpec(loss_probability=1.5)
+
+    def test_bad_attack(self):
+        with pytest.raises(ValueError, match="fraction"):
+            AttackSpec(fraction=0.0)
+        with pytest.raises(ValueError, match="group_size"):
+            AttackSpec(group_size=0)
+
+    def test_trust_gclr_requires_attack(self):
+        with pytest.raises(ValueError, match="AttackSpec"):
+            Scenario(
+                name="x",
+                description="d",
+                topology=TopologySpec(),
+                workload=WorkloadSpec(kind="trust-gclr"),
+            )
+
+
+class TestRunScenario:
+    def test_static_powerlaw_small(self):
+        result = run_scenario("static-powerlaw", small=True)
+        assert result.backend == "dense"  # auto at N=200
+        assert result.num_nodes == 200
+        assert result.converged_fraction == 1.0
+        assert result.metrics["max_rel_error"] < 0.01
+
+    def test_churn_heavy_small_stays_accurate(self):
+        result = run_scenario("churn-heavy", small=True)
+        assert result.metrics["loss_probability"] == 0.3
+        # Mass-conserving self-push: churn slows mixing, never breaks it.
+        assert result.metrics["max_abs_error"] < 0.01
+
+    def test_collusion_under_churn_small(self):
+        result = run_scenario("collusion-under-churn", small=True)
+        assert result.metrics["num_colluders"] > 0
+        assert result.metrics["rms_gclr"] >= 0.0
+        assert result.metrics["rms_unweighted"] >= 0.0
+
+    def test_free_riding_small_detects_free_riders(self):
+        result = run_scenario("free-riding-500k", small=True)
+        assert result.backend == "sparse"
+        assert result.metrics["detection_rate"] > 0.95
+        assert result.metrics["false_positive_rate"] < 0.05
+
+    def test_seed_reproducibility_and_override(self):
+        a = run_scenario("churn-heavy", small=True, seed=123)
+        b = run_scenario("churn-heavy", small=True, seed=123)
+        c = run_scenario("churn-heavy", small=True, seed=124)
+        assert a.steps == b.steps
+        assert a.metrics == b.metrics
+        assert a.metrics != c.metrics
+
+    def test_backend_override(self):
+        result = run_scenario("churn-heavy", small=True, backend="sparse")
+        assert result.backend == "sparse"
+        assert result.metrics["max_abs_error"] < 0.01
+
+    def test_result_to_text_renders(self):
+        result = run_scenario("static-powerlaw", small=True)
+        text = result.to_text()
+        assert "static-powerlaw" in text and "backend=dense" in text
+
+    def test_custom_scenario_composes(self):
+        scenario = Scenario(
+            name="test-er-mean",
+            description="mean gossip on an ER graph",
+            topology=TopologySpec(kind="erdos-renyi", num_nodes=120, small_num_nodes=120, p=0.06),
+            workload=WorkloadSpec(kind="mean"),
+            xi=1e-6,
+            seed=9,
+        )
+        result = run_scenario(scenario)
+        assert result.num_nodes == 120
+        assert result.metrics["max_abs_error"] < 1e-3
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert scenarios_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SEEDED:
+            assert name in out
+
+    def test_run_small(self, capsys):
+        assert scenarios_main(["run", "static-powerlaw", "--small"]) == 0
+        assert "max_rel_error" in capsys.readouterr().out
+
+    def test_run_unknown_fails(self, capsys):
+        assert scenarios_main(["run", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_with_overrides(self, capsys):
+        assert (
+            scenarios_main(
+                ["run", "churn-heavy", "--small", "--seed", "5", "--backend", "sparse"]
+            )
+            == 0
+        )
+        assert "backend=sparse" in capsys.readouterr().out
+
+
+def test_free_riding_full_shape_uses_sparse_by_spec():
+    scenario = get_scenario("free-riding-500k")
+    assert scenario.topology.num_nodes == 500_000
+    assert scenario.backend == "sparse"
+    assert np.isfinite(scenario.xi)
