@@ -1,0 +1,161 @@
+"""Benchmark: warm-start vs cold-start epochs on a churning overlay.
+
+Replays the *same* seeded churn trace twice through
+:func:`repro.runtime.run_dynamic` — once with warm-start epochs (resume
+from the previous converged gossip pairs, Δ re-push seeding the deltas)
+and once cold (every epoch re-gossips its opinions from scratch) — and
+records per-epoch rounds-to-converge under the identical accuracy stop
+rule, plus epoch throughput, in ``BENCH_dynamic.json``.
+
+The headline number is ``steady_state_ratio``: warm steady-state rounds
+per epoch divided by cold. The steady-churn-100k acceptance bar is
+``<= 1/3`` — warm epochs only need to mix the churned sites back to
+tolerance, while a cold epoch re-pays the full network mixing every
+time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_epochs.py \
+        [--n 100000] [--epochs 6] [--backend sparse] [--out BENCH_dynamic.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.network.mutable import MutableOverlay
+from repro.core.backend import GossipConfig
+from repro.runtime.dynamics import DynamicRunResult, run_dynamic
+from repro.runtime.trace import ChurnTrace
+
+
+def _replay(
+    n: int,
+    m: int,
+    trace: ChurnTrace,
+    *,
+    backend: str,
+    warm_start: bool,
+    epoch_tol: float,
+    opinion_drift: float,
+    graph_seed: int,
+) -> Dict[str, object]:
+    """One full dynamic run; returns its JSON-friendly summary."""
+    overlay = MutableOverlay.grow_preferential(n, m=m, rng=graph_seed)
+    start = time.perf_counter()
+    result: DynamicRunResult = run_dynamic(
+        overlay,
+        trace,
+        GossipConfig(delta=0.0, max_steps=800),
+        backend=backend,
+        warm_start=warm_start,
+        epoch_tol=epoch_tol,
+        opinion_drift=opinion_drift,
+    )
+    elapsed = time.perf_counter() - start
+    records = result.records
+    return {
+        "warm_start": warm_start,
+        "steps_per_epoch": [r.steps for r in records],
+        "steady_state_steps": result.steady_state_steps,
+        "cold_bootstrap_steps": records[0].steps,
+        "total_steps": result.total_steps,
+        "total_push_messages": result.total_push_messages,
+        "final_mean_abs_error": records[-1].mean_abs_error,
+        "all_epochs_converged": all(r.converged_fraction == 1.0 for r in records),
+        "elapsed_seconds": round(elapsed, 3),
+        "epochs_per_second": round(len(records) / elapsed, 3),
+    }
+
+
+def run_benchmark(
+    n: int = 100_000,
+    *,
+    m: int = 2,
+    epochs: int = 6,
+    join_rate: float = 0.002,
+    leave_rate: float = 0.002,
+    opinion_drift: float = 0.01,
+    epoch_tol: float = 1e-3,
+    backend: str = "sparse",
+    seed: int = 2016,
+) -> Dict[str, object]:
+    """Warm vs cold replay of one churn trace; returns the record."""
+    trace = ChurnTrace.steady(
+        epochs, population=n, join_rate=join_rate, leave_rate=leave_rate, seed=seed
+    )
+    warm = _replay(
+        n, m, trace, backend=backend, warm_start=True,
+        epoch_tol=epoch_tol, opinion_drift=opinion_drift, graph_seed=seed + 1,
+    )
+    cold = _replay(
+        n, m, trace, backend=backend, warm_start=False,
+        epoch_tol=epoch_tol, opinion_drift=opinion_drift, graph_seed=seed + 1,
+    )
+    ratio = warm["steady_state_steps"] / max(cold["steady_state_steps"], 1e-9)
+    if not (warm["all_epochs_converged"] and cold["all_epochs_converged"]):
+        raise AssertionError("an epoch exhausted its step budget; raise max_steps")
+    return {
+        "benchmark": "dynamic_epochs",
+        "n": n,
+        "m": m,
+        "epochs": epochs,
+        "join_rate": join_rate,
+        "leave_rate": leave_rate,
+        "opinion_drift": opinion_drift,
+        "epoch_tol": epoch_tol,
+        "backend": backend,
+        "seed": seed,
+        "trace_arrivals": trace.total_arrivals,
+        "trace_departures": trace.total_departures,
+        "warm": warm,
+        "cold": cold,
+        "steady_state_ratio": round(ratio, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--m", type=int, default=2)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--join-rate", type=float, default=0.002)
+    parser.add_argument("--leave-rate", type=float, default=0.002)
+    parser.add_argument("--opinion-drift", type=float, default=0.01)
+    parser.add_argument("--epoch-tol", type=float, default=1e-3)
+    parser.add_argument("--backend", default="sparse")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--out", default="BENCH_dynamic.json")
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        args.n,
+        m=args.m,
+        epochs=args.epochs,
+        join_rate=args.join_rate,
+        leave_rate=args.leave_rate,
+        opinion_drift=args.opinion_drift,
+        epoch_tol=args.epoch_tol,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    warm, cold = record["warm"], record["cold"]
+    print(
+        f"N={record['n']} backend={record['backend']} epochs={record['epochs']}: "
+        f"warm {warm['steady_state_steps']:.2f} rounds/epoch vs cold "
+        f"{cold['steady_state_steps']:.2f} (ratio {record['steady_state_ratio']}); "
+        f"warm {warm['epochs_per_second']} epochs/s, cold {cold['epochs_per_second']} epochs/s"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

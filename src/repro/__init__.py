@@ -40,16 +40,22 @@ from repro.core import (
 from repro.facade import aggregate
 from repro.network import (
     Graph,
+    MutableOverlay,
     PacketLossModel,
     example_network,
     preferential_attachment_graph,
 )
+from repro.runtime import ChurnTrace, DynamicRunResult, run_dynamic
 from repro.trust import ReputationTable, TrustMatrix, random_trust_matrix
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "MutableOverlay",
+    "ChurnTrace",
+    "DynamicRunResult",
+    "run_dynamic",
     "PacketLossModel",
     "preferential_attachment_graph",
     "example_network",

@@ -20,7 +20,9 @@ one protocol:
 - :func:`choose_backend_name` implements the ``"auto"`` policy —
   message → dense → sparse by node count and edge count;
 - :func:`run_backend` is the engine-level entry the
-  :func:`repro.aggregate` facade and the variant entry points share.
+  :func:`repro.aggregate` facade, the variant entry points and the
+  dynamic-network runtime (:mod:`repro.runtime`, which chains
+  fixed-budget calls via ``supports_run_to_max`` backends) share.
 
 Backends differ only in *how* they execute the update rule; identical
 configs converge to identical fixpoints (the cross-backend equivalence

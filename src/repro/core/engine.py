@@ -192,8 +192,9 @@ class MessageLevelGossip:
         rng: RngLike = None,
     ):
         self._graph = graph
-        # Non-strict: this engine clamps oversized counts at send time
-        # (``node.k >= node.neighbors.size`` pushes to all neighbours).
+        # Non-strict: oversized counts are clamped to node degree (with
+        # a PushCountClampWarning) — the clamp must happen before the
+        # (k + 1)-way split or the excess shares would leak gossip mass.
         self._push_counts = resolve_push_counts(graph, push_counts, strict=False)
         self._loss_model = loss_model
         self._rng = as_generator(rng)

@@ -29,6 +29,13 @@ always the engines' common :class:`repro.core.results.GossipOutcome`;
 for the rich per-variant result objects (true values, eq.-6
 reputations) keep using :func:`repro.core.vector_gclr.aggregate_vector_gclr`
 and friends — they run through this same backend layer.
+
+``aggregate`` runs one round on a *frozen* topology. For a network
+with real session churn — peers joining by preferential attachment and
+leaving epoch over epoch — use its dynamic sibling
+:func:`repro.run_dynamic` (:mod:`repro.runtime`), which replays a
+seeded churn trace over a mutable overlay and warm-starts each epoch's
+round from the last through this same backend layer.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ package provides:
 """
 
 from repro.network.churn import PacketLossModel
+from repro.network.mutable import MutableOverlay
 from repro.network.degree_sequence import (
     estimate_power_law_exponent,
     havel_hakimi_graph,
@@ -29,6 +30,7 @@ from repro.network.topology_example import EXAMPLE_DEGREES, EXAMPLE_K_VALUES, ex
 
 __all__ = [
     "Graph",
+    "MutableOverlay",
     "PacketLossModel",
     "preferential_attachment_graph",
     "erdos_renyi_graph",

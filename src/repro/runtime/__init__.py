@@ -1,0 +1,34 @@
+"""Dynamic-network reputation runtime: churn traces, epochs, warm starts.
+
+Where :func:`repro.aggregate` runs one gossip round on a frozen
+topology, this package runs reputation aggregation on a network that
+actually evolves — peers join via preferential attachment, leave with
+their gossip mass handed onward, and each epoch's round warm-starts
+from the last converged state with Algorithm 2's Δ re-push seeding the
+deltas. See :mod:`repro.runtime.dynamics` for the mechanism.
+
+>>> from repro.runtime import ChurnTrace, run_dynamic
+>>> from repro.network.mutable import MutableOverlay
+>>> overlay = MutableOverlay.grow_preferential(80, m=2, rng=0)
+>>> trace = ChurnTrace.steady(3, population=80, join_rate=0.03, leave_rate=0.03, seed=1)
+>>> result = run_dynamic(overlay, trace)
+>>> len(result.records)
+3
+"""
+
+from repro.runtime.dynamics import (
+    DynamicReputationRuntime,
+    DynamicRunResult,
+    EpochRecord,
+    run_dynamic,
+)
+from repro.runtime.trace import ChurnTrace, EpochChurn
+
+__all__ = [
+    "ChurnTrace",
+    "EpochChurn",
+    "DynamicReputationRuntime",
+    "DynamicRunResult",
+    "EpochRecord",
+    "run_dynamic",
+]

@@ -1,0 +1,187 @@
+"""Seeded, replayable churn traces.
+
+A :class:`ChurnTrace` is the *schedule* of a dynamic-network run: how
+many peer sessions arrive and depart in each epoch. Traces are plain
+data generated once from seeded rates — Poisson session arrivals and
+departures, the standard model for P2P session churn — so a dynamic run
+is reproducible from ``(trace, runtime arguments)`` alone and a trace
+can be replayed against different backends, warm-start policies or
+newcomer policies for apples-to-apples comparisons.
+
+Two generators ship:
+
+- :meth:`ChurnTrace.steady` — stationary per-capita join/leave rates
+  (the long-lived network of the paper's Section 5.3 churn study);
+- :meth:`ChurnTrace.flash_crowd` — a stationary baseline with one
+  arrival spike followed by geometric decay of the extra arrivals
+  (a popular file appearing, then interest fading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class EpochChurn:
+    """Session churn of one epoch: ``arrivals`` joins, ``departures`` leaves."""
+
+    arrivals: int
+    departures: int
+
+    def __post_init__(self) -> None:
+        if self.arrivals < 0 or self.departures < 0:
+            raise ValueError(
+                f"arrivals/departures must be >= 0, got {self.arrivals}/{self.departures}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A replayable per-epoch schedule of session arrivals and departures.
+
+    Attributes
+    ----------
+    epochs:
+        One :class:`EpochChurn` per epoch, in order.
+    seed:
+        Seed the runtime derives its replay streams from (victim
+        selection, attachment wiring, newcomer opinions), so the same
+        trace replays identically.
+
+    Examples
+    --------
+    >>> trace = ChurnTrace.steady(4, population=200, join_rate=0.02, leave_rate=0.02, seed=5)
+    >>> trace == ChurnTrace.steady(4, population=200, join_rate=0.02, leave_rate=0.02, seed=5)
+    True
+    >>> len(trace)
+    4
+    """
+
+    epochs: Tuple[EpochChurn, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epochs", tuple(self.epochs))
+        if not self.epochs:
+            raise ValueError("a churn trace needs at least one epoch")
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def __iter__(self) -> Iterator[EpochChurn]:
+        return iter(self.epochs)
+
+    @property
+    def total_arrivals(self) -> int:
+        """Joins summed over all epochs."""
+        return sum(e.arrivals for e in self.epochs)
+
+    @property
+    def total_departures(self) -> int:
+        """Leaves summed over all epochs."""
+        return sum(e.departures for e in self.epochs)
+
+    # -- generators ----------------------------------------------------------
+
+    @classmethod
+    def steady(
+        cls,
+        num_epochs: int,
+        *,
+        population: int,
+        join_rate: float,
+        leave_rate: float,
+        seed: int = 0,
+        min_population: int = 8,
+    ) -> "ChurnTrace":
+        """Stationary churn: per-epoch Poisson(rate × current population).
+
+        Parameters
+        ----------
+        num_epochs:
+            Number of epochs to schedule.
+        population:
+            Initial peer count the rates apply to (tracked as the
+            schedule adds/removes sessions).
+        join_rate, leave_rate:
+            Per-capita per-epoch session rates (e.g. ``0.01`` = 1% of
+            the population joins/leaves each epoch).
+        seed:
+            Drives both the Poisson draws and the runtime replay.
+        min_population:
+            Departures are clamped so the scheduled population never
+            falls below this.
+        """
+        _check_rates(num_epochs, population, join_rate, leave_rate)
+        rng = as_generator(seed)
+        epochs: List[EpochChurn] = []
+        pop = population
+        for _ in range(num_epochs):
+            arrivals = int(rng.poisson(join_rate * pop))
+            departures = int(rng.poisson(leave_rate * pop))
+            departures = min(departures, max(0, pop + arrivals - min_population))
+            epochs.append(EpochChurn(arrivals, departures))
+            pop += arrivals - departures
+        return cls(tuple(epochs), seed)
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        num_epochs: int,
+        *,
+        population: int,
+        base_rate: float = 0.005,
+        spike_epoch: int = 1,
+        spike_fraction: float = 0.3,
+        decay: float = 0.5,
+        seed: int = 0,
+        min_population: int = 8,
+    ) -> "ChurnTrace":
+        """A flash crowd: baseline churn plus one decaying arrival surge.
+
+        At ``spike_epoch`` an extra ``spike_fraction`` of the current
+        population arrives; each following epoch the surge decays by
+        ``decay`` and the earlier surge sessions start departing at the
+        same geometric schedule (flash-crowd visitors are short-lived).
+        """
+        _check_rates(num_epochs, population, base_rate, base_rate)
+        if not 0 <= spike_epoch < num_epochs:
+            raise ValueError(f"spike_epoch must be in 0..{num_epochs - 1}, got {spike_epoch}")
+        if not 0.0 < spike_fraction <= 2.0:
+            raise ValueError(f"spike_fraction must be in (0, 2], got {spike_fraction}")
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        rng = as_generator(seed)
+        epochs: List[EpochChurn] = []
+        pop = pop0 = population
+        surge = 0.0
+        outstanding = 0.0  # surge sessions still in the network
+        for epoch in range(num_epochs):
+            if epoch == spike_epoch:
+                surge = spike_fraction * pop
+            arrivals = int(rng.poisson(base_rate * pop) + round(surge))
+            # Surge visitors churn back out one epoch behind the surge.
+            leaving_surge = min(outstanding, decay * outstanding + base_rate * pop0)
+            departures = int(rng.poisson(base_rate * pop) + round(leaving_surge))
+            departures = min(departures, max(0, pop + arrivals - min_population))
+            epochs.append(EpochChurn(arrivals, departures))
+            outstanding += round(surge) - round(leaving_surge)
+            pop += arrivals - departures
+            surge *= decay
+            if surge < 1.0:
+                surge = 0.0
+        return cls(tuple(epochs), seed)
+
+
+def _check_rates(num_epochs: int, population: int, join_rate: float, leave_rate: float) -> None:
+    if num_epochs < 1:
+        raise ValueError(f"num_epochs must be >= 1, got {num_epochs}")
+    if population < 2:
+        raise ValueError(f"population must be >= 2, got {population}")
+    for name, rate in (("join_rate", join_rate), ("leave_rate", leave_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")

@@ -17,6 +17,7 @@ Run from the command line::
 from repro.scenarios.spec import (
     AttackSpec,
     ChurnSpec,
+    DynamicSpec,
     Scenario,
     ScenarioResult,
     TopologySpec,
@@ -31,6 +32,7 @@ from repro.scenarios import library  # noqa: F401  (registers the seeded catalog
 __all__ = [
     "AttackSpec",
     "ChurnSpec",
+    "DynamicSpec",
     "Scenario",
     "ScenarioResult",
     "TopologySpec",

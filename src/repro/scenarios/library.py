@@ -1,9 +1,11 @@
 """The seeded scenario catalogue.
 
-Four scenarios ship with the repro, one per corner of the design space
-the ROADMAP names; each composes the same five axes (topology ×
-workload × churn × attack × backend), so new scenarios are a
-registration call away — no new plumbing.
+Six scenarios ship with the repro, spanning the design space the
+ROADMAP names; each composes the same axes (topology × workload ×
+churn × attack × dynamics × backend), so new scenarios are a
+registration call away — no new plumbing. The two dynamic scenarios
+(``flash-crowd``, ``steady-churn-100k``) run the epoch runtime of
+:mod:`repro.runtime` instead of a single static round.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 from repro.scenarios.spec import (
     AttackSpec,
     ChurnSpec,
+    DynamicSpec,
     Scenario,
     TopologySpec,
     WorkloadSpec,
@@ -63,6 +66,56 @@ COLLUSION_UNDER_CHURN = register_scenario(
         backend="dense",
         xi=1e-4,
         seed=413,
+    )
+)
+
+FLASH_CROWD = register_scenario(
+    Scenario(
+        name="flash-crowd",
+        description=(
+            "Dynamic network: a 30% arrival surge hits at epoch 2 and churns back "
+            "out; epochs warm-start from the pre-surge reputation state."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=5000, small_num_nodes=400, m=2),
+        workload=WorkloadSpec(kind="mean"),
+        dynamic=DynamicSpec(
+            epochs=8,
+            join_rate=0.005,
+            leave_rate=0.005,
+            flash=True,
+            spike_epoch=2,
+            spike_fraction=0.3,
+            opinion_drift=0.01,
+            newcomer_trust=0.2,
+        ),
+        backend="dense",
+        xi=1e-5,
+        max_steps=400,
+        seed=415,
+    )
+)
+
+STEADY_CHURN_100K = register_scenario(
+    Scenario(
+        name="steady-churn-100k",
+        description=(
+            "Dynamic network at 100 000 peers on the sparse CSR backend: 0.2% of "
+            "sessions join/leave per epoch, 1% of opinions drift, and warm-start "
+            "epochs re-converge in a fraction of the cold-start rounds."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=100_000, small_num_nodes=2000, m=2),
+        workload=WorkloadSpec(kind="mean"),
+        dynamic=DynamicSpec(
+            epochs=6,
+            join_rate=0.002,
+            leave_rate=0.002,
+            opinion_drift=0.01,
+            newcomer_trust=0.2,
+        ),
+        backend="sparse",
+        xi=1e-5,
+        max_steps=400,
+        seed=416,
     )
 )
 

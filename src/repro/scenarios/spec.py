@@ -133,6 +133,66 @@ class AttackSpec:
 
 
 @dataclass(frozen=True)
+class DynamicSpec:
+    """Session churn driving the epoch runtime (:mod:`repro.runtime`).
+
+    Setting this on a scenario switches execution from one static
+    gossip round to :func:`repro.runtime.run_dynamic`: the topology
+    becomes a :class:`repro.network.mutable.MutableOverlay`, peers join
+    (preferential attachment) and leave per a seeded
+    :class:`repro.runtime.trace.ChurnTrace`, and each epoch's round
+    warm-starts from the last. Only the ``"mean"`` workload runs
+    dynamically (per-peer reputation scores averaged network-wide).
+    """
+
+    epochs: int = 8
+    join_rate: float = 0.002
+    leave_rate: float = 0.002
+    flash: bool = False  # flash-crowd trace instead of steady rates
+    spike_epoch: int = 1
+    spike_fraction: float = 0.3
+    warm_start: bool = True
+    stop_rule: str = "accuracy"
+    epoch_tol: float = 1e-3
+    opinion_drift: float = 0.01
+    drift_scale: float = 0.1
+    newcomer_trust: Optional[float] = None  # DynamicNewcomerPolicy grant; None = uniform opinions
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        for name in ("join_rate", "leave_rate", "opinion_drift"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.epoch_tol <= 0:
+            raise ValueError(f"epoch_tol must be positive, got {self.epoch_tol}")
+        if self.newcomer_trust is not None and not 0.0 <= self.newcomer_trust <= 1.0:
+            raise ValueError(f"newcomer_trust must be in [0, 1], got {self.newcomer_trust}")
+
+    def build_trace(self, population: int, seed: int) -> "ChurnTrace":
+        """The seeded churn schedule for a ``population``-peer overlay."""
+        from repro.runtime.trace import ChurnTrace
+
+        if self.flash:
+            return ChurnTrace.flash_crowd(
+                self.epochs,
+                population=population,
+                base_rate=max(self.join_rate, self.leave_rate),
+                spike_epoch=self.spike_epoch,
+                spike_fraction=self.spike_fraction,
+                seed=seed,
+            )
+        return ChurnTrace.steady(
+            self.epochs,
+            population=population,
+            join_rate=self.join_rate,
+            leave_rate=self.leave_rate,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One named point in topology × workload × churn × attack × backend."""
 
@@ -142,6 +202,7 @@ class Scenario:
     workload: WorkloadSpec
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     attack: Optional[AttackSpec] = None
+    dynamic: Optional[DynamicSpec] = None
     backend: str = "auto"
     xi: float = 1e-5
     max_steps: int = 20_000
@@ -152,6 +213,11 @@ class Scenario:
             raise ValueError("scenario name must be non-empty")
         if self.workload.kind == "trust-gclr" and self.attack is None:
             raise ValueError("trust-gclr scenarios measure an attack; provide AttackSpec")
+        if self.dynamic is not None and self.workload.kind != "mean":
+            raise ValueError(
+                "dynamic scenarios run the 'mean' workload (per-peer reputation scores); "
+                f"got {self.workload.kind!r}"
+            )
 
 
 @dataclass
@@ -244,11 +310,6 @@ def run_scenario(
         as_generator(int(root.integers(2**62))), small=small
     )
     backend_name = backend if backend is not None else scenario.backend
-    resolved = (
-        choose_backend_name(graph)
-        if backend_name == "auto"
-        else resolve_backend_name(backend_name)
-    )
     config = GossipConfig(
         xi=scenario.xi,
         max_steps=scenario.max_steps,
@@ -256,6 +317,16 @@ def run_scenario(
         rng=int(root.integers(2**62)),
     )
 
+    if scenario.dynamic is not None:
+        # The runtime resolves the name itself: its "auto" policy steers
+        # towards run_to_max-capable engines for the accuracy stop rule.
+        return _run_dynamic(scenario, graph, config, backend_name, root, small=small)
+
+    resolved = (
+        choose_backend_name(graph)
+        if backend_name == "auto"
+        else resolve_backend_name(backend_name)
+    )
     start = time.perf_counter()
     kind = scenario.workload.kind
     if kind == "mean":
@@ -277,6 +348,65 @@ def run_scenario(
         steps=outcome.steps,
         push_messages=outcome.push_messages,
         converged_fraction=float(np.mean(outcome.converged)),
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+        notes=notes,
+    )
+
+
+def _run_dynamic(scenario, graph, config, backend, root, *, small):
+    """Epoch-driven dynamic run: churn trace over a mutable overlay."""
+    from repro.network.mutable import MutableOverlay
+    from repro.runtime.dynamics import run_dynamic
+    from repro.trust.newcomer_policy import DynamicNewcomerPolicy
+
+    spec = scenario.dynamic
+    trace = spec.build_trace(graph.num_nodes, int(root.integers(2**62)))
+    policy = (
+        DynamicNewcomerPolicy(max_initial_trust=spec.newcomer_trust)
+        if spec.newcomer_trust is not None
+        else None
+    )
+    start = time.perf_counter()
+    result = run_dynamic(
+        MutableOverlay.from_graph(graph),
+        trace,
+        config,
+        backend=backend,
+        warm_start=spec.warm_start,
+        stop_rule=spec.stop_rule,
+        epoch_tol=spec.epoch_tol,
+        newcomer_policy=policy,
+        opinion_drift=spec.opinion_drift,
+        drift_scale=spec.drift_scale,
+        attachment_m=scenario.topology.m,
+    )
+    elapsed = time.perf_counter() - start
+    final = result.final_record
+    metrics = {
+        "epochs": float(len(result.records)),
+        "total_arrivals": float(trace.total_arrivals),
+        "total_departures": float(trace.total_departures),
+        "steady_state_steps": result.steady_state_steps,
+        "cold_bootstrap_steps": float(result.records[0].steps),
+        "final_mean_abs_error": final.mean_abs_error,
+        "final_num_peers": float(final.num_peers),
+    }
+    notes = [
+        f"{'warm' if spec.warm_start else 'cold'}-start epochs under the "
+        f"'{spec.stop_rule}' stop rule (tol={spec.epoch_tol:g})",
+        f"churn trace: {'flash-crowd' if spec.flash else 'steady'} "
+        f"(+{trace.total_arrivals}/-{trace.total_departures} sessions over {len(trace)} epochs)",
+    ]
+    return ScenarioResult(
+        name=scenario.name,
+        backend=result.backend,
+        small=small,
+        num_nodes=final.num_peers,
+        num_edges=final.num_edges,
+        steps=result.total_steps,
+        push_messages=result.total_push_messages,
+        converged_fraction=final.converged_fraction,
         metrics=metrics,
         elapsed_seconds=elapsed,
         notes=notes,

@@ -9,6 +9,9 @@ aspect."* This module studies it.
 :class:`DynamicNewcomerPolicy` grants newcomers a small benefit of the
 doubt while the observed whitewashing rate is low (helping honest
 latecomers bootstrap) and decays it toward zero as identity churn rises.
+The dynamic-network runtime (:mod:`repro.runtime`) wires it in live:
+every session arrival is observed by the policy and every joiner's
+initial opinion comes from :meth:`DynamicNewcomerPolicy.initial_trust`.
 The whitewashing *level* is estimated from the join rate relative to
 the population — a surge of "new" identities in a stable population is
 the signature of whitewashing (real networks cross-check against

@@ -143,9 +143,12 @@ class TestResolvePushCounts:
         with pytest.raises(ValueError, match="at least once"):
             resolve_push_counts(triangle, np.array([0, 1, 1]))
 
-    def test_non_strict_allows_clamped_counts(self, triangle):
-        counts = resolve_push_counts(triangle, np.array([5, 1, 1]), strict=False)
-        np.testing.assert_array_equal(counts, [5, 1, 1])
+    def test_non_strict_clamps_oversized_counts_with_warning(self, triangle):
+        from repro.core.differential import PushCountClampWarning
+
+        with pytest.warns(PushCountClampWarning):
+            counts = resolve_push_counts(triangle, np.array([5, 1, 1]), strict=False)
+        np.testing.assert_array_equal(counts, [2, 1, 1])
 
     def test_shape_always_checked(self, triangle):
         with pytest.raises(ValueError, match="shape"):

@@ -1,0 +1,62 @@
+"""Diff small experiment runs against the committed golden fixtures.
+
+A failure here means the numerics of an experiment pipeline moved. If
+the change is intentional, regenerate and commit the fixtures so the
+diff is visible at review time::
+
+    PYTHONPATH=src python -m tests.regen_golden
+"""
+
+import json
+import math
+
+import pytest
+
+from tests.regen_golden import GOLDEN_SPECS, golden_path, golden_payload
+
+REGEN_HINT = (
+    "golden fixture drift — if this numeric change is intentional, run "
+    "`PYTHONPATH=src python -m tests.regen_golden` and commit the updated fixtures"
+)
+
+
+def load_fixture(experiment_id):
+    path = golden_path(experiment_id)
+    if not path.exists():
+        pytest.fail(f"missing golden fixture {path}; run `PYTHONPATH=src python -m tests.regen_golden`")
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def assert_cell_equal(actual, expected, *, where):
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert math.isclose(float(actual), float(expected), rel_tol=1e-9, abs_tol=1e-12), (
+            f"{where}: {actual!r} != golden {expected!r}; {REGEN_HINT}"
+        )
+    else:
+        assert actual == expected, f"{where}: {actual!r} != golden {expected!r}; {REGEN_HINT}"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_SPECS))
+def test_experiment_matches_golden_fixture(experiment_id):
+    fixture = load_fixture(experiment_id)
+    fresh = golden_payload(experiment_id)
+
+    assert fresh["spec"] == fixture["spec"], (
+        f"{experiment_id}: the pinned spec changed; {REGEN_HINT}"
+    )
+    assert fresh["headers"] == fixture["headers"], (
+        f"{experiment_id}: table headers changed; {REGEN_HINT}"
+    )
+    assert len(fresh["rows"]) == len(fixture["rows"]), (
+        f"{experiment_id}: row count changed; {REGEN_HINT}"
+    )
+    for row_index, (actual_row, expected_row) in enumerate(zip(fresh["rows"], fixture["rows"])):
+        assert len(actual_row) == len(expected_row), (
+            f"{experiment_id} row {row_index}: cell count changed; {REGEN_HINT}"
+        )
+        for col, (actual, expected) in enumerate(zip(actual_row, expected_row)):
+            header = fixture["headers"][col] if col < len(fixture["headers"]) else col
+            assert_cell_equal(
+                actual, expected, where=f"{experiment_id} row {row_index} [{header}]"
+            )

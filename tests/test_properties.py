@@ -12,6 +12,7 @@ property is something the paper's correctness rests on:
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -25,6 +26,9 @@ from repro.network.churn import PacketLossModel
 from repro.network.degree_sequence import havel_hakimi_graph, is_graphical
 from repro.network.preferential_attachment import preferential_attachment_graph
 from repro.trust.matrix import TrustMatrix
+
+# Heavier hypothesis suite: one full run per CI matrix (see pyproject markers).
+pytestmark = pytest.mark.property
 
 # Modest example counts: each example can run a full gossip round.
 FAST = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])

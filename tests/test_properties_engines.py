@@ -10,6 +10,7 @@ consequences make powerful tests:
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -17,6 +18,9 @@ from repro.core.async_engine import AsyncGossipEngine
 from repro.core.engine import MessageLevelGossip
 from repro.core.vector_engine import VectorGossipEngine
 from repro.network.preferential_attachment import preferential_attachment_graph
+
+# Heavier hypothesis suite: one full run per CI matrix (see pyproject markers).
+pytestmark = pytest.mark.property
 
 SLOW = settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
