@@ -25,6 +25,7 @@ from repro.core import (
     GossipConfig,
     GossipOutcome,
     MessageLevelGossip,
+    ShardedGossipEngine,
     SparseGossipEngine,
     VectorGossipEngine,
     WeightParams,
@@ -74,6 +75,7 @@ __all__ = [
     "aggregate_vector_gclr",
     "VectorGossipEngine",
     "SparseGossipEngine",
+    "ShardedGossipEngine",
     "MessageLevelGossip",
     "GossipOutcome",
     "ConvergenceError",

@@ -52,7 +52,7 @@ def push_sum_average(
     loss_model: Optional[PacketLossModel] = None,
     max_steps: int = 10_000,
     patience: int = 3,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> GossipOutcome:
     """Estimate the average of ``values`` with classic push-sum.
 
@@ -72,7 +72,11 @@ def push_sum_average(
     xi, rng, loss_model, max_steps, patience:
         As in :meth:`repro.core.vector_engine.VectorGossipEngine.run`.
     backend:
-        Registered gossip backend name (or ``"auto"``).
+        Registered gossip backend name; the default ``"auto"`` follows
+        :func:`repro.core.backend.choose_backend_name`, so large
+        Figure-3 baselines land on the sparse/sharded engines instead
+        of silently running every 100k+-node round through the dense
+        engine. Pass an explicit name to pin one.
 
     Examples
     --------

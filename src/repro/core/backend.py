@@ -16,9 +16,10 @@ one protocol:
   :class:`repro.core.results.GossipOutcome`;
 - :func:`register_backend` / :func:`get_backend` /
   :func:`available_backends` manage the registry ("message", "dense",
-  "sparse", "async" ship built-in; "vector" is an alias of "dense");
+  "sparse", "sharded", "async" ship built-in; "vector" is an alias of
+  "dense");
 - :func:`choose_backend_name` implements the ``"auto"`` policy —
-  message → dense → sparse by node count and edge count;
+  message → dense → sparse → sharded by node count and edge count;
 - :func:`run_backend` is the engine-level entry the
   :func:`repro.aggregate` facade, the variant entry points and the
   dynamic-network runtime (:mod:`repro.runtime`, which chains
@@ -121,6 +122,16 @@ class GossipConfig:
     run_to_max:
         Ignore the stop protocol and run exactly ``max_steps`` steps
         (fixed-budget diffusion studies and benchmarks).
+    num_shards:
+        Sharded backend only: partition granularity. Outcomes of the
+        ``"sharded"`` backend depend on ``(rng, num_shards)``, so this
+        is a *determinism* knob; ``None`` selects the backend's fixed
+        default. Other backends ignore it.
+    shard_workers:
+        Sharded backend only: worker process count — a pure
+        *throughput* knob (any value yields byte-identical outcomes;
+        ``1`` runs the shard schedule inline with no processes).
+        ``None`` selects by graph size. Other backends ignore it.
     """
 
     xi: float = 1e-4
@@ -136,6 +147,8 @@ class GossipConfig:
     warmup_steps: Optional[int] = None
     track_history: bool = False
     run_to_max: bool = False
+    num_shards: Optional[int] = None
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.xi <= 0:
@@ -152,6 +165,10 @@ class GossipConfig:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
         if self.delta < 0:
             raise ValueError(f"delta must be >= 0, got {self.delta}")
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError(f"shard_workers must be >= 1, got {self.shard_workers}")
 
     def resolved_push_counts(self, graph: Graph) -> Optional[np.ndarray]:
         """Per-node push counts for ``graph``, or ``None`` for the
@@ -298,6 +315,63 @@ class SparseBackend(_SynchronousBackend):
         return SparseGossipEngine
 
 
+class ShardedBackend:
+    """Multi-process sharded CSR engine for million-peer rounds.
+
+    Partitions the graph into edge-balanced node shards
+    (:mod:`repro.network.partition`) and executes each shard's push step
+    in a worker process over shared-memory buffers, exchanging
+    cross-shard pushes through per-shard halo buffers
+    (:class:`repro.core.sharded_engine.ShardedGossipEngine`). Outcomes
+    are byte-identical for any worker count; ``config.num_shards`` and
+    ``config.shard_workers`` tune determinism granularity and
+    parallelism respectively. Packet loss is supported via
+    ``config.loss_probability`` (per-shard seeded loss streams); an
+    explicit ``loss_model`` instance cannot be split across shards and
+    is rejected.
+    """
+
+    name = "sharded"
+    supports_run_to_max = True
+
+    def run(
+        self,
+        graph: Graph,
+        values: np.ndarray,
+        weights: np.ndarray,
+        *,
+        extras: Optional[Dict[str, np.ndarray]] = None,
+        config: Optional[GossipConfig] = None,
+    ) -> GossipOutcome:
+        from repro.core.sharded_engine import ShardedGossipEngine
+
+        config = config if config is not None else GossipConfig()
+        if config.loss_model is not None:
+            raise BackendCapabilityError(
+                "backend 'sharded' derives per-shard loss streams from the seed; "
+                "pass loss_probability instead of an explicit loss_model"
+            )
+        engine = ShardedGossipEngine(
+            graph,
+            push_counts=config.resolved_push_counts(graph),
+            loss_probability=config.loss_probability,
+            rng=config.rng,
+            num_shards=config.num_shards,
+            num_workers=config.shard_workers,
+        )
+        return engine.run(
+            values,
+            weights,
+            xi=config.xi,
+            extras=extras,
+            max_steps=config.max_steps,
+            track_history=config.track_history,
+            run_to_max=config.run_to_max,
+            patience=config.patience,
+            warmup_steps=config.warmup_steps,
+        )
+
+
 class AsyncBackend:
     """Event-driven engine on independent exponential clocks.
 
@@ -427,6 +501,7 @@ register_backend("message", MessageBackend())
 register_backend("dense", DenseBackend(), aliases=("vector",))
 register_backend("sparse", SparseBackend(), aliases=("csr",))
 register_backend("async", AsyncBackend())
+register_backend("sharded", ShardedBackend())
 
 
 # -- auto selection ---------------------------------------------------------
@@ -438,14 +513,20 @@ AUTO_DENSE_MAX_NODES = 20_000
 #: ...unless the graph is edge-heavy enough that the dense engine's
 #: per-hub Python sampling loop dominates.
 AUTO_DENSE_MAX_EDGES = 200_000
+#: ``"auto"`` keeps the single-process sparse engine up to this size...
+AUTO_SPARSE_MAX_NODES = 250_000
+#: ...and this many undirected edges; beyond either, one core per step
+#: is the bottleneck and the multi-process sharded engine takes over.
+AUTO_SPARSE_MAX_EDGES = 2_000_000
 
 
 def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> str:
-    """The ``"auto"`` policy: message → dense → sparse by size/density.
+    """The ``"auto"`` policy: message → dense → sparse → sharded by size.
 
     Tiny worlds get the protocol-faithful message engine (free fidelity
-    at that scale), experiment-scale graphs the dense numpy engine, and
-    large or edge-heavy graphs the CSR sparse engine. Configs that need
+    at that scale), experiment-scale graphs the dense numpy engine,
+    large or edge-heavy graphs the CSR sparse engine, and million-peer
+    graphs the multi-process sharded engine. Configs that need
     ``run_to_max`` skip the message engine (it does not support
     fixed-budget runs).
     """
@@ -454,7 +535,15 @@ def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> 
         return "message"
     if n <= AUTO_DENSE_MAX_NODES and graph.num_edges <= AUTO_DENSE_MAX_EDGES:
         return "dense"
-    return "sparse"
+    if n <= AUTO_SPARSE_MAX_NODES and graph.num_edges <= AUTO_SPARSE_MAX_EDGES:
+        return "sparse"
+    # The sharded engine derives per-shard loss streams from the seed
+    # and cannot split an explicit PacketLossModel's generator; "auto"
+    # must keep such configs on the single-process sparse engine rather
+    # than escalating into a capability error.
+    if config is not None and config.loss_model is not None:
+        return "sparse"
+    return "sharded"
 
 
 def run_backend(

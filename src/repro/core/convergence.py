@@ -79,19 +79,49 @@ class ConvergenceProtocol:
             raise ValueError(f"patience must be >= 1, got {patience}")
         if warmup_steps < 0:
             raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
-        self._graph = graph
         self._xi = float(xi)
         self._threshold = float(xi) * num_components
         self._patience = int(patience)
         self._warmup_steps = int(warmup_steps)
+        self._bind(graph)
+
+    def _bind(self, graph: Graph) -> None:
+        """Install ``graph`` and zero every per-node counter.
+
+        The degree vector is copied at bind time: the stop rule
+        compares ``_converged_neighbor_count`` against it, and both
+        must describe the *same* topology. Reading degrees freshly off
+        ``graph`` on every refresh invited a stale-counter bug — a
+        caller swapping the graph object (e.g. a dynamic-epoch runtime
+        reusing one protocol across overlay snapshots) would have
+        counters accumulated on the old topology compared against the
+        new degree vector, stopping nodes that never converged on the
+        new graph. Swapping topologies is now an explicit
+        :meth:`rebind`, which resets the counters.
+        """
+        self._graph = graph
+        self._degrees = graph.degrees.copy()
         self._observed_steps = 0
         n = graph.num_nodes
         self._converged = np.zeros(n, dtype=bool)
         self._satisfied_streak = np.zeros(n, dtype=np.int64)
         self._converged_neighbor_count = np.zeros(n, dtype=np.int64)
-        isolated = graph.degrees == 0
+        isolated = self._degrees == 0
         self._converged[isolated] = True
         self._stopped = isolated.copy()
+
+    def rebind(self, graph: Graph) -> None:
+        """Re-target the protocol at a new topology, resetting all state.
+
+        Convergence flags, patience streaks and converged-neighbour
+        counters are per-topology quantities: carrying them across a
+        graph swap would let counters earned on the old neighbourhoods
+        satisfy the new degree vector (a node could be marked stopped
+        against neighbours it never heard announce). Use this between
+        dynamic-network epochs when reusing one protocol object;
+        warm-start state lives in the gossip pairs, not here.
+        """
+        self._bind(graph)
 
     # -- read-only state -------------------------------------------------------
 
@@ -204,7 +234,9 @@ class ConvergenceProtocol:
             np.add.at(self._converged_neighbor_count, all_neighbors, 1)
 
     def _refresh_stopped(self) -> None:
-        degrees = self._graph.degrees
+        # Compare counters against the bind-time degree copy, never a
+        # freshly read graph attribute — see _bind.
+        degrees = self._degrees
         self._stopped = self._converged & (self._converged_neighbor_count >= degrees)
         self._stopped[degrees == 0] = True
 

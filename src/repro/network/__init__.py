@@ -24,7 +24,11 @@ from repro.network.degree_sequence import (
     is_graphical,
 )
 from repro.network.graph import Graph
-from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.network.partition import GraphPartition, ShardView, partition_graph
+from repro.network.preferential_attachment import (
+    preferential_attachment_graph,
+    preferential_attachment_graph_fast,
+)
 from repro.network.random_graphs import erdos_renyi_graph, random_regular_graph
 from repro.network.topology_example import EXAMPLE_DEGREES, EXAMPLE_K_VALUES, example_network
 
@@ -32,7 +36,11 @@ __all__ = [
     "Graph",
     "MutableOverlay",
     "PacketLossModel",
+    "GraphPartition",
+    "ShardView",
+    "partition_graph",
     "preferential_attachment_graph",
+    "preferential_attachment_graph_fast",
     "erdos_renyi_graph",
     "random_regular_graph",
     "havel_hakimi_graph",

@@ -144,6 +144,36 @@ class MutableOverlay:
         """Whether the undirected edge between peers ``u`` and ``v`` exists."""
         return u in self._adj and v in self._adj[u]
 
+    def check_invariants(self) -> None:
+        """Assert the overlay's internal counts describe one edge set.
+
+        Verifies, in O(N + E):
+
+        - the adjacency sets are symmetric and self-loop free;
+        - ``num_edges`` equals the size of the undirected edge set;
+        - the degree array matches each live peer's adjacency size and
+          is zero for departed peers.
+
+        Raises ``AssertionError`` on the first violation. Used by the
+        hypothesis stateful suite after every mutation; cheap enough to
+        call from application code when debugging overlay churn.
+        """
+        edge_set = set()
+        for u, nbrs in self._adj.items():
+            assert u not in nbrs, f"self-loop on peer {u}"
+            assert self._alive[u], f"dead peer {u} still has an adjacency entry"
+            assert self._deg[u] == len(nbrs), (
+                f"degree array says {self._deg[u]} for peer {u}, adjacency has {len(nbrs)}"
+            )
+            for v in nbrs:
+                assert v in self._adj and u in self._adj[v], f"asymmetric edge ({u}, {v})"
+                edge_set.add(_undirected(u, v))
+        assert self._num_edges == len(edge_set), (
+            f"num_edges={self._num_edges} but the edge set has {len(edge_set)} edges"
+        )
+        dead = np.flatnonzero(~self._alive[: self._next_pid])
+        assert not np.any(self._deg[dead]), "departed peers must have degree 0"
+
     # -- mutation ------------------------------------------------------------
 
     def _invalidate(self) -> None:
@@ -154,7 +184,19 @@ class MutableOverlay:
         if peer_id not in self._adj:
             raise KeyError(f"peer {peer_id} is not in the overlay")
 
-    def _record_edge(self, u: int, v: int) -> None:
+    def _record_edge(self, u: int, v: int) -> bool:
+        """Install the undirected edge ``(u, v)``; return whether it was new.
+
+        An already-present edge is skipped *explicitly* (nothing is
+        recounted): the adjacency sets would absorb a duplicate
+        silently, but the degree array, the edge count and the pending
+        snapshot deltas would all double-count it, corrupting every
+        later snapshot. Internal rewiring paths (orphan rewires,
+        component bridging) check this return value instead of assuming
+        their proposal is fresh.
+        """
+        if v in self._adj[u]:
+            return False
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._deg[u] += 1
@@ -166,6 +208,7 @@ class MutableOverlay:
         else:
             self._pending_add.add(key)
         self._invalidate()
+        return True
 
     def _erase_edge(self, u: int, v: int) -> None:
         self._adj[u].discard(v)
@@ -322,8 +365,13 @@ class MutableOverlay:
             generator = as_generator(rng)
             for nb in former:
                 if nb in self._adj and not self._adj[nb]:
-                    target = self._sample_targets(1, generator, exclude=(nb,))[0]
-                    self._record_edge(nb, target)
+                    # The orphan has degree 0, so any live target is a
+                    # fresh edge; re-draw defensively if a proposal is
+                    # somehow already present rather than miscounting.
+                    for _ in range(8):
+                        target = self._sample_targets(1, generator, exclude=(nb,))[0]
+                        if self._record_edge(nb, target):
+                            break
         self._invalidate()
         return former
 
@@ -357,8 +405,11 @@ class MutableOverlay:
             members = np.flatnonzero(labels == label)
             u = int(pids[members[generator.integers(members.shape[0])]])
             v = int(pids[giant_members[generator.integers(giant_members.shape[0])]])
-            self.add_edge(u, v)
-            bridges += 1
+            # u and v sit in different components, so (u, v) cannot
+            # exist — but the skip is explicit, never an assumption
+            # about _record_edge silently tolerating duplicates.
+            if self._record_edge(u, v):
+                bridges += 1
         return bridges
 
     # -- snapshots -----------------------------------------------------------

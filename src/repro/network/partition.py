@@ -1,0 +1,205 @@
+"""Edge-balanced node partitioning for sharded gossip execution.
+
+The sharded engine (:mod:`repro.core.sharded_engine`) splits one gossip
+round horizontally: each worker process owns a contiguous *node shard*
+and executes the push step for its nodes only. Two properties of the
+partition matter:
+
+- **Balance.** Per-step work is proportional to the number of directed
+  edges a shard's nodes own (target sampling, share gathering), not to
+  its node count — on a power-law overlay a node-balanced split would
+  hand one shard all the hubs. :func:`partition_graph` therefore cuts
+  the CSR row pointer at equal *edge* quantiles.
+- **Halo maps.** A shard's pushes land on its own nodes and on a
+  boundary set of foreign nodes — its *halo*. Each
+  :class:`ShardView` precomputes the sorted halo ids plus, because the
+  halo is sorted and shards are contiguous ranges, the slice of that
+  halo belonging to every destination shard. The per-round halo
+  exchange then reduces to slice arithmetic: destination shard ``d``
+  adds ``halo[halo_slices[d]:halo_slices[d+1]]`` rows of every other
+  shard's contribution buffer, in fixed shard order, which is what
+  makes the merge byte-deterministic regardless of worker scheduling.
+
+Partitions are pure functions of ``(graph, num_shards)`` — no
+randomness — so the same overlay always shards the same way and a
+re-partition after churn (a fresh :meth:`MutableOverlay.snapshot`) is
+deterministic too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.network.graph import Graph
+
+
+class ShardView:
+    """One shard of a partitioned graph: owned node range + halo maps.
+
+    The shard owns the contiguous node range ``[lo, hi)``. Local ids
+    number the owned nodes first (``node - lo``) and the halo nodes
+    after them (``owned_size + position in halo``), so a contribution
+    buffer of ``local_size`` rows captures every push the shard can
+    make.
+
+    Attributes
+    ----------
+    index:
+        Shard number (also its seed-spawn key in the sharded engine).
+    lo, hi:
+        Owned node range ``[lo, hi)`` in global ids.
+    halo:
+        Sorted global ids of foreign nodes adjacent to owned nodes —
+        the only non-owned push targets this shard can produce.
+    halo_slices:
+        ``(num_shards + 1,)`` prefix array: halo entries owned by
+        destination shard ``d`` are ``halo[halo_slices[d]:halo_slices[d + 1]]``
+        (and rows ``owned_size + halo_slices[d] ...`` of the shard's
+        contribution buffer).
+    """
+
+    __slots__ = ("index", "lo", "hi", "halo", "halo_slices")
+
+    def __init__(self, index: int, lo: int, hi: int, halo: np.ndarray, halo_slices: np.ndarray):
+        self.index = int(index)
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.halo = halo
+        self.halo_slices = halo_slices
+
+    @property
+    def owned_size(self) -> int:
+        """Number of owned nodes."""
+        return self.hi - self.lo
+
+    @property
+    def local_size(self) -> int:
+        """Rows of the shard's contribution buffer (owned + halo)."""
+        return self.owned_size + int(self.halo.shape[0])
+
+    def local_columns(self, columns: np.ndarray) -> np.ndarray:
+        """Remap global target ids to this shard's local ids.
+
+        Every entry must be an owned node or a member of ``halo`` (true
+        for any column of an owned CSR row, by construction).
+        """
+        owned = (columns >= self.lo) & (columns < self.hi)
+        halo_pos = np.searchsorted(self.halo, columns)
+        return np.where(owned, columns - self.lo, self.owned_size + halo_pos)
+
+    def local_csr(self, indptr: np.ndarray, indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard-local CSR view: ``(indptr_local, indices_local)``.
+
+        ``indptr_local`` has ``owned_size + 1`` entries rebased to 0 and
+        ``indices_local`` holds local target ids, so samplers index the
+        shard's contribution buffer directly.
+        """
+        start, stop = int(indptr[self.lo]), int(indptr[self.hi])
+        indptr_local = (indptr[self.lo : self.hi + 1] - start).astype(np.int64)
+        indices_local = self.local_columns(indices[start:stop]).astype(np.int64)
+        return indptr_local, indices_local
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardView(index={self.index}, nodes=[{self.lo}, {self.hi}), "
+            f"halo={self.halo.shape[0]})"
+        )
+
+
+class GraphPartition:
+    """An edge-balanced contiguous partition of a graph's node range."""
+
+    __slots__ = ("graph", "boundaries", "shards")
+
+    def __init__(self, graph: Graph, boundaries: np.ndarray, shards: List[ShardView]):
+        self.graph = graph
+        self.boundaries = boundaries
+        self.shards = shards
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def shard_of(self, node: int) -> int:
+        """Index of the shard owning ``node``."""
+        if not 0 <= node < self.graph.num_nodes:
+            raise ValueError(f"node {node} outside 0..{self.graph.num_nodes - 1}")
+        return int(np.searchsorted(self.boundaries, node, side="right") - 1)
+
+    def edge_cut(self) -> float:
+        """Fraction of directed edges whose endpoints sit in different shards.
+
+        This is the volume of the per-round halo exchange relative to
+        total push traffic — the quantity the edge-balanced split keeps
+        bounded.
+        """
+        total = int(self.graph.indptr[-1])
+        if total == 0:
+            return 0.0
+        # Count directed edges leaving each shard (column outside [lo, hi)).
+        crossing = 0
+        indptr, indices = self.graph.indptr, self.graph.indices
+        for shard in self.shards:
+            cols = indices[indptr[shard.lo] : indptr[shard.hi]]
+            crossing += int(np.count_nonzero((cols < shard.lo) | (cols >= shard.hi)))
+        return crossing / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphPartition(num_shards={self.num_shards}, graph={self.graph!r})"
+
+
+def edge_balanced_boundaries(graph: Graph, num_shards: int) -> np.ndarray:
+    """Contiguous node-range boundaries with ~equal directed edges per shard.
+
+    Returns a non-decreasing ``(num_shards + 1,)`` array ``b`` with
+    ``b[0] = 0`` and ``b[-1] = num_nodes``; shard ``s`` owns nodes
+    ``[b[s], b[s + 1])``. Shards may be empty on extreme degree skew
+    (one hub can own more edges than a whole quantile).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    n = graph.num_nodes
+    indptr = graph.indptr
+    total = int(indptr[-1])
+    if total == 0:
+        # No edges: balance node counts instead.
+        cuts = np.linspace(0, n, num_shards + 1).astype(np.int64)
+        return cuts
+    quantiles = (np.arange(1, num_shards) * total) / num_shards
+    cuts = np.searchsorted(indptr, quantiles, side="left").astype(np.int64)
+    boundaries = np.concatenate(([0], cuts, [n]))
+    np.maximum.accumulate(boundaries, out=boundaries)
+    boundaries = np.minimum(boundaries, n)
+    return boundaries
+
+
+def partition_graph(graph: Graph, num_shards: int) -> GraphPartition:
+    """Partition ``graph`` into ``num_shards`` edge-balanced node shards.
+
+    ``num_shards`` is clamped to the node count. The result is fully
+    deterministic in ``(graph, num_shards)``.
+
+    Examples
+    --------
+    >>> from repro.network.topology_example import example_network
+    >>> part = partition_graph(example_network(), 3)
+    >>> [shard.owned_size for shard in part.shards]
+    [3, 3, 4]
+    >>> part.shard_of(9)
+    2
+    """
+    num_shards = max(1, min(int(num_shards), graph.num_nodes))
+    boundaries = edge_balanced_boundaries(graph, num_shards)
+    indptr, indices = graph.indptr, graph.indices
+    shards: List[ShardView] = []
+    for s in range(num_shards):
+        lo, hi = int(boundaries[s]), int(boundaries[s + 1])
+        cols = indices[indptr[lo] : indptr[hi]]
+        foreign = cols[(cols < lo) | (cols >= hi)]
+        halo = np.unique(foreign)
+        halo_slices = np.searchsorted(halo, boundaries).astype(np.int64)
+        shards.append(ShardView(s, lo, hi, halo, halo_slices))
+    return GraphPartition(graph, boundaries, shards)

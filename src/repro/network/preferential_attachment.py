@@ -90,6 +90,90 @@ def preferential_attachment_graph(
     return Graph(num_nodes, edges)
 
 
+def preferential_attachment_graph_fast(
+    num_nodes: int,
+    m: int = 2,
+    *,
+    rng: RngLike = None,
+) -> Graph:
+    """Million-node PA generator (Batagelj–Brandes edge-endpoint sampling).
+
+    Grows the same process as :func:`preferential_attachment_graph` —
+    clique seed on ``m + 1`` nodes, each joiner wiring ``m``
+    degree-proportional edges — but materialises it through the
+    Batagelj–Brandes construction: the target of a new edge is a
+    uniform draw over the flat array of all previous edge *endpoints*,
+    which realises degree-proportional attachment in O(1) without
+    per-join set bookkeeping, and the final simple graph is assembled
+    with vectorised dedup + :meth:`Graph.from_csr` instead of the
+    per-edge Python path of ``Graph.__init__``. A 1M-node, ~8M-edge
+    overlay builds in seconds instead of minutes.
+
+    Differences from the exact generator (why both exist):
+
+    - duplicate proposals are dropped afterwards rather than re-drawn,
+      so a node's realised degree can fall slightly under ``m + its
+      attracted edges`` (edge count is ``~m * num_nodes`` minus a
+      sub-percent of collisions);
+    - the random stream is consumed differently, so seeds are not
+      interchangeable between the two generators.
+
+    Every joiner's first edge targets a strictly earlier node, so the
+    graph is always connected.
+
+    Examples
+    --------
+    >>> g = preferential_attachment_graph_fast(2000, m=4, rng=3)
+    >>> g.is_connected()
+    True
+    >>> 0.97 < g.num_edges / (4 * 2000) < 1.0
+    True
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if num_nodes <= m:
+        raise ValueError(f"num_nodes must exceed m ({m}), got {num_nodes}")
+    generator = as_generator(rng)
+    n = int(num_nodes)
+    seed_size = m + 1
+    seed_edges = m * (m + 1) // 2
+    join_edges = m * (n - seed_size)
+    total_edges = seed_edges + join_edges
+
+    # Flat endpoint array: node u appears once per incident proposed
+    # edge, so a uniform index draw is a degree-proportional node draw.
+    endpoints = np.empty(2 * total_edges, dtype=np.int64)
+    upper, lower = np.triu_indices(seed_size, k=1)
+    endpoints[0 : 2 * seed_edges : 2] = upper
+    endpoints[1 : 2 * seed_edges : 2] = lower
+    uniforms = generator.random(join_edges)
+    position = 2 * seed_edges
+    index = 0
+    for v in range(seed_size, n):
+        for e in range(m):
+            endpoints[position] = v
+            # First edge of each joiner excludes its own fresh endpoint
+            # (no self-loop), guaranteeing connectivity.
+            bound = position if e == 0 else position + 1
+            endpoints[position + 1] = endpoints[int(uniforms[index] * bound)]
+            position += 2
+            index += 1
+
+    u, v = endpoints[0::2], endpoints[1::2]
+    keep = u != v
+    lo = np.minimum(u[keep], v[keep])
+    hi = np.maximum(u[keep], v[keep])
+    keys = np.unique(lo * np.int64(n) + hi)
+    lo, hi = keys // n, keys % n
+    rows = np.concatenate([lo, hi])
+    cols = np.concatenate([hi, lo])
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+    return Graph.from_csr(n, indptr, cols, validate=False)
+
+
 def expected_num_edges(num_nodes: int, m: int) -> int:
     """Number of edges the generator produces for ``(num_nodes, m)``.
 

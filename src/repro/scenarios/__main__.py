@@ -31,6 +31,12 @@ def main(argv=None) -> int:
         default=None,
         help="override the scenario backend (any registered name, or 'auto')",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sharded backend: worker process count (outcomes are identical for any value)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -47,7 +53,9 @@ def main(argv=None) -> int:
         return 2
 
     for name in names:
-        result = run_scenario(name, small=args.small, seed=args.seed, backend=args.backend)
+        result = run_scenario(
+            name, small=args.small, seed=args.seed, backend=args.backend, workers=args.workers
+        )
         print(result.to_text())
         print()
     return 0

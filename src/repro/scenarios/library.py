@@ -1,11 +1,13 @@
 """The seeded scenario catalogue.
 
-Six scenarios ship with the repro, spanning the design space the
+Seven scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
 churn × attack × dynamics × backend), so new scenarios are a
 registration call away — no new plumbing. The two dynamic scenarios
 (``flash-crowd``, ``steady-churn-100k``) run the epoch runtime of
-:mod:`repro.runtime` instead of a single static round.
+:mod:`repro.runtime` instead of a single static round, and
+``million-peer-sharded`` exercises the multi-process sharded backend
+at the scale it exists for.
 """
 
 from __future__ import annotations
@@ -116,6 +118,26 @@ STEADY_CHURN_100K = register_scenario(
         xi=1e-5,
         max_steps=400,
         seed=416,
+    )
+)
+
+MILLION_PEER_SHARDED = register_scenario(
+    Scenario(
+        name="million-peer-sharded",
+        description=(
+            "Scale-out ceiling: uniform mean gossip over a 1M-peer, ~8M-edge "
+            "power-law overlay on the multi-process sharded backend (4 workers, "
+            "byte-identical for any worker count)."
+        ),
+        topology=TopologySpec(
+            kind="powerlaw-fast", num_nodes=1_000_000, small_num_nodes=3000, m=8
+        ),
+        workload=WorkloadSpec(kind="mean"),
+        backend="sharded",
+        xi=1e-4,
+        max_steps=50_000,
+        seed=417,
+        shard_workers=4,
     )
 )
 

@@ -25,7 +25,7 @@ from repro.facade import aggregate
 from repro.network.graph import Graph
 from repro.utils.rng import as_generator
 
-TOPOLOGY_KINDS = ("powerlaw", "erdos-renyi", "random-regular", "example")
+TOPOLOGY_KINDS = ("powerlaw", "powerlaw-fast", "erdos-renyi", "random-regular", "example")
 WORKLOAD_KINDS = ("mean", "trust-global", "trust-gclr", "free-riding")
 
 
@@ -59,6 +59,10 @@ class TopologySpec:
             from repro.network.preferential_attachment import preferential_attachment_graph
 
             return preferential_attachment_graph(n, m=self.m, rng=rng)
+        if self.kind == "powerlaw-fast":
+            from repro.network.preferential_attachment import preferential_attachment_graph_fast
+
+            return preferential_attachment_graph_fast(n, m=self.m, rng=rng)
         if self.kind == "erdos-renyi":
             from repro.network.random_graphs import erdos_renyi_graph
 
@@ -207,6 +211,8 @@ class Scenario:
     xi: float = 1e-5
     max_steps: int = 20_000
     seed: int = 2016
+    num_shards: Optional[int] = None
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -287,6 +293,7 @@ def run_scenario(
     small: bool = False,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ScenarioResult:
     """Execute one scenario and summarise it.
 
@@ -302,6 +309,10 @@ def run_scenario(
     backend:
         Override the scenario's backend (any registered name or
         ``"auto"``).
+    workers:
+        Override the scenario's sharded-backend worker count (a
+        throughput knob only — sharded outcomes are byte-identical
+        across worker counts).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -315,6 +326,8 @@ def run_scenario(
         max_steps=scenario.max_steps,
         loss_probability=scenario.churn.loss_probability,
         rng=int(root.integers(2**62)),
+        num_shards=scenario.num_shards,
+        shard_workers=workers if workers is not None else scenario.shard_workers,
     )
 
     if scenario.dynamic is not None:

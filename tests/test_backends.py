@@ -41,7 +41,7 @@ def fixture_values():
 class TestRegistry:
     def test_builtin_backends_registered(self):
         names = available_backends()
-        for expected in ("message", "dense", "sparse", "async"):
+        for expected in ("message", "dense", "sparse", "sharded", "async"):
             assert expected in names
 
     def test_vector_alias_resolves_to_dense(self):
@@ -164,7 +164,9 @@ class TestResolvePushCounts:
 class TestCrossBackendEquivalence:
     """Acceptance: every backend agrees to 1e-8 on the fixture topology."""
 
-    @pytest.mark.parametrize("backend", ["message", "dense", "sparse", "async", "auto"])
+    @pytest.mark.parametrize(
+        "backend", ["message", "dense", "sparse", "sharded", "async", "auto"]
+    )
     def test_backend_hits_fixpoint_to_1e8(self, fixture_values, backend):
         out = run_backend(
             example_network(),
@@ -188,7 +190,7 @@ class TestCrossBackendEquivalence:
                 config=GossipConfig(xi=1e-10, rng=7, max_steps=100_000),
                 backend=name,
             ).estimates.reshape(-1)
-            for name in ("message", "dense", "sparse", "async")
+            for name in ("message", "dense", "sparse", "sharded", "async")
         }
         names = sorted(estimates)
         for a in names:
@@ -242,6 +244,16 @@ class TestCapabilityErrors:
             )
         with pytest.raises(BackendCapabilityError, match="scalar"):
             run_backend(g, np.ones((10, 3)), np.ones((10, 3)), backend="async")
+
+    def test_sharded_rejects_explicit_loss_model(self, fixture_values):
+        from repro.network.churn import PacketLossModel
+
+        with pytest.raises(BackendCapabilityError, match="loss_probability"):
+            run_backend(
+                example_network(), fixture_values, np.ones(10),
+                config=GossipConfig(loss_model=PacketLossModel(0.2, rng=0)),
+                backend="sharded",
+            )
 
     def test_async_rejects_synchronous_stop_knobs(self, fixture_values):
         with pytest.raises(BackendCapabilityError, match="patience"):
@@ -459,7 +471,7 @@ class TestCsrRoundTripWithIsolatedNodes:
 
     def test_gossip_skips_isolates_on_all_backends(self, graph_with_isolates):
         values = np.arange(6, dtype=np.float64)
-        for backend in ("message", "dense", "sparse"):
+        for backend in ("message", "dense", "sparse", "sharded"):
             out = run_backend(
                 graph_with_isolates,
                 values,

@@ -111,6 +111,56 @@ class TestPatience:
         assert newly.size == 3
 
 
+class TestRebind:
+    """Reusing one protocol across topology swaps must reset counters.
+
+    Regression for the stale-counter early stop: ``_refresh_stopped``
+    used to read ``graph.degrees`` fresh on every refresh, so a caller
+    swapping the bound graph (a dynamic-epoch runtime reusing one
+    protocol across overlay snapshots) had converged-neighbour counters
+    earned on the *old* topology compared against the *new* degree
+    vector — a node whose 4 old neighbours had announced would be
+    marked stopped on a new graph where its degree is 2, without any
+    node of the new graph ever converging.
+    """
+
+    def test_rebind_resets_convergence_state(self, star5):
+        protocol = ConvergenceProtocol(star5, xi=0.01, patience=1)
+        protocol.observe(np.zeros(5), all_true(5))
+        assert protocol.all_stopped  # everyone converged on the star
+        # Epoch boundary: the overlay shrank to a triangle.
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        protocol.rebind(triangle)
+        # Stale counters (hub had 4 converged neighbours) must not leak:
+        # nothing on the new graph has converged or stopped.
+        assert not protocol.converged.any()
+        assert not protocol.stopped.any()
+        assert protocol.num_unconverged == 3
+        assert not protocol.all_stopped
+
+    def test_rebind_restarts_warmup(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01, patience=1, warmup_steps=1)
+        protocol.observe(np.zeros(3), all_true(3))  # swallowed by warmup
+        protocol.observe(np.zeros(3), all_true(3))
+        assert protocol.all_stopped
+        protocol.rebind(triangle)
+        # The first post-rebind step is warmup again.
+        assert protocol.observe(np.zeros(3), all_true(3)).size == 0
+        assert protocol.observe(np.zeros(3), all_true(3)).size == 3
+
+    def test_degrees_copied_at_bind_time(self, path4):
+        protocol = ConvergenceProtocol(path4, xi=0.01)
+        assert protocol._degrees is not path4.degrees
+        np.testing.assert_array_equal(protocol._degrees, path4.degrees)
+
+    def test_rebind_tracks_new_isolated_nodes(self, triangle):
+        protocol = ConvergenceProtocol(triangle, xi=0.01)
+        sparse_graph = Graph(3, [(0, 1)])
+        protocol.rebind(sparse_graph)
+        assert protocol.stopped[2] and protocol.converged[2]
+        assert not protocol.stopped[0] and not protocol.stopped[1]
+
+
 class TestDeviationHelpers:
     def test_scalar(self):
         out = deviation_scalar(np.array([1.0, 2.0]), np.array([1.5, 2.0]))

@@ -196,3 +196,109 @@ class TestSnapshots:
         overlay.remove_edge(0, 1)
         overlay.add_edge(0, 1)
         assert overlay.snapshot()[0] == fig2_network
+
+
+class TestExplicitDuplicateEdgePath:
+    """_record_edge skips (never recounts) an already-present edge."""
+
+    def test_duplicate_record_is_skipped_and_counts_stay_consistent(self, fig2_network):
+        overlay = MutableOverlay.from_graph(fig2_network)
+        edges_before = overlay.num_edges
+        deg_before = overlay.degree_of(0)
+        assert overlay._record_edge(0, 9) is True  # fresh edge
+        assert overlay._record_edge(0, 9) is False  # duplicate: skipped
+        assert overlay._record_edge(9, 0) is False  # either orientation
+        assert overlay.num_edges == edges_before + 1
+        assert overlay.degree_of(0) == deg_before + 1
+        overlay.check_invariants()
+        # The snapshot sees the edge exactly once.
+        graph, _ = overlay.snapshot()
+        assert graph.num_edges == overlay.num_edges
+
+    def test_bridge_components_counts_only_new_edges(self):
+        overlay = MutableOverlay.from_graph(Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)]))
+        added = overlay.bridge_components(rng=3)
+        assert added == 1
+        overlay.check_invariants()
+        assert overlay.snapshot()[0].is_connected()
+        assert overlay.bridge_components(rng=4) == 0
+
+    def test_orphan_rewire_keeps_invariants(self):
+        # Removing the middle of a path strands both ends; the rewires
+        # must leave a consistent edge set.
+        overlay = MutableOverlay.from_graph(Graph(5, [(0, 2), (1, 2), (2, 3), (3, 4)]))
+        overlay.remove_peer(2, rewire_isolated=True, rng=1)
+        overlay.check_invariants()
+        assert all(overlay.degree_of(int(p)) > 0 for p in overlay.peer_ids())
+
+    def test_check_invariants_catches_corruption(self, fig2_network):
+        overlay = MutableOverlay.from_graph(fig2_network)
+        overlay._num_edges += 1  # simulate the double-count bug
+        with pytest.raises(AssertionError, match="edge set"):
+            overlay.check_invariants()
+
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+
+class OverlayMachine(RuleBasedStateMachine):
+    """Random join/leave/rewire/bridge walks never desynchronise counts.
+
+    The load-bearing check is the invariant: after *every* mutation,
+    ``num_edges`` equals the size of the actual undirected edge set and
+    the degree array matches the adjacency — the exact quantities a
+    silently recounted duplicate edge would corrupt.
+    """
+
+    @initialize(seed=st.integers(min_value=0, max_value=2**20))
+    def grow(self, seed):
+        self.overlay = MutableOverlay.grow_preferential(12, m=2, rng=seed)
+        self.rng = np.random.default_rng(seed + 1)
+
+    @rule(m=st.integers(min_value=1, max_value=3))
+    def join(self, m):
+        self.overlay.add_peer(m=m, rng=self.rng)
+
+    @rule()
+    def leave(self):
+        if self.overlay.num_peers > 4:
+            pids = self.overlay.peer_ids()
+            victim = int(pids[self.rng.integers(len(pids))])
+            self.overlay.remove_peer(victim, rewire_isolated=True, rng=self.rng)
+
+    @rule()
+    def wire(self):
+        pids = self.overlay.peer_ids()
+        u, v = (int(x) for x in self.rng.choice(pids, 2, replace=False))
+        if not self.overlay.has_edge(u, v):
+            self.overlay.add_edge(u, v)
+
+    @rule()
+    def unwire(self):
+        pids = self.overlay.peer_ids()
+        u = int(pids[self.rng.integers(len(pids))])
+        nbrs = self.overlay.neighbors_of(u)
+        if nbrs:
+            self.overlay.remove_edge(u, int(nbrs[self.rng.integers(len(nbrs))]))
+
+    @rule()
+    def bridge(self):
+        self.overlay.bridge_components(rng=self.rng)
+
+    @rule()
+    def snapshot_agrees(self):
+        graph, _ = self.overlay.snapshot()
+        assert graph.num_edges == self.overlay.num_edges
+
+    @invariant()
+    def counts_describe_one_edge_set(self):
+        if hasattr(self, "overlay"):
+            self.overlay.check_invariants()
+
+
+OverlayMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestOverlayStateful = pytest.mark.property(OverlayMachine.TestCase)
