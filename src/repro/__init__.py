@@ -4,9 +4,10 @@ A complete, self-contained reproduction of Gupta & Singh, *"Reputation
 Aggregation in Peer-to-Peer Network Using Differential Gossip
 Algorithm"*: the differential push gossip primitive, all four
 aggregation variants, the power-law network substrate, trust estimation,
-adversary models (collusion, whitewashing), churn, comparison baselines
-and the full experiment harness that regenerates every table and figure
-of the paper's evaluation.
+a composable adversary engine (collusion, whitewashing, slandering,
+on–off oscillation, sybil floods — :mod:`repro.attacks`), churn,
+comparison baselines and the full experiment harness that regenerates
+every table and figure of the paper's evaluation.
 
 Quickstart
 ----------
@@ -38,6 +39,13 @@ from repro.core import (
     push_counts,
     register_backend,
 )
+from repro.attacks import (
+    AttackModel,
+    attack_impact,
+    available_attacks,
+    make_attack,
+    register_attack,
+)
 from repro.facade import aggregate
 from repro.network import (
     Graph,
@@ -65,6 +73,11 @@ __all__ = [
     "ReputationTable",
     "WeightParams",
     "aggregate",
+    "AttackModel",
+    "attack_impact",
+    "available_attacks",
+    "make_attack",
+    "register_attack",
     "GossipConfig",
     "available_backends",
     "get_backend",

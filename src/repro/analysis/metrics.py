@@ -63,6 +63,29 @@ def average_rms_error(observed: np.ndarray, reference: np.ndarray) -> float:
     return float(np.sqrt(row_means).mean())
 
 
+def attack_amplification(
+    rms_unweighted: float, rms_gclr: float, *, floor: float = 1e-12
+) -> float:
+    """Eq.-17 damping as a ratio: unweighted error over DGT error.
+
+    ``> 1`` means the GCLR weighting absorbed that factor of the attack
+    relative to the plain global average (eqs. 8–12). Both errors are
+    floored at ``floor`` so a fully damped attack reports a finite
+    ratio; two clean measurements report exactly 1.
+
+    Parameters
+    ----------
+    rms_unweighted, rms_gclr:
+        The two eq.-18 errors of one
+        :class:`repro.attacks.evaluate.AttackImpact`.
+    floor:
+        Numerical floor applied to both errors.
+    """
+    if rms_unweighted < 0 or rms_gclr < 0:
+        raise ValueError("rms errors must be non-negative")
+    return float(max(rms_unweighted, floor) / max(rms_gclr, floor))
+
+
 def max_relative_error(estimates: np.ndarray, truth: np.ndarray) -> float:
     """Worst relative error of ``estimates`` against element-wise ``truth``.
 

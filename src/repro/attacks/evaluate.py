@@ -1,27 +1,31 @@
 """Attack-impact measurement through the unified gossip backend layer.
 
-One measurement = two vector-gclr aggregation runs over the *same*
-topology and the same gossip randomness — once with the honest trust
-matrix, once with the attack-poisoned copy — compared by the paper's
-eq.-18 average RMS error. Sharing the seed between the two runs cancels
-gossip noise, so the measured error isolates the attack effect.
+One measurement = two vector-gclr aggregation runs over the same gossip
+randomness — once in the honest world, once in the attack-poisoned copy
+— compared by the paper's eq.-18 average RMS error. Sharing the seed
+between the two runs cancels gossip noise, so the measured error
+isolates the attack effect.
 
-This used to live inside the Figure-5/6 experiment plumbing and was
-hard-wired to the dense engine; routing it through
-:func:`repro.core.backend.run_backend` (via the variant entry point)
-lets any registered backend — and any churn level — carry the same
-measurement, which is what the ``collusion-under-churn`` scenario runs.
+:func:`attack_impact` measures **any registered attack family**
+(:mod:`repro.attacks.models`) on any registered gossip backend; for
+topology-touching attacks (sybil floods) the dirty run executes on the
+enlarged overlay and the eq.-18 comparison restricts to the original
+honest peers. :func:`attack_impact_series` replays the same measurement
+per epoch, which is what makes on–off oscillation and per-epoch
+whitewashing observable. :func:`collusion_impact` survives as the
+backward-compatible wrapper the Figure-5/6 experiments consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.attacks.collusion import CollusionAttack, apply_collusion
-from repro.core.backend import GossipConfig
+from repro.attacks.models import AttackModel, make_attack
+from repro.core.backend import GossipConfig, choose_backend_name
 from repro.core.results import GossipOutcome
 from repro.core.vector_gclr import gclr_reputations, true_vector_gclr
 from repro.core.weights import WeightParams
@@ -30,15 +34,74 @@ from repro.network.graph import Graph
 from repro.trust.matrix import TrustMatrix
 from repro.utils.rng import as_generator
 
+AttackLike = Union[AttackModel, CollusionAttack, str]
+
 
 @dataclass(frozen=True)
-class CollusionImpact:
-    """Eq.-18 RMS errors of one attack, weighted vs unweighted scheme."""
+class AttackImpact:
+    """Eq.-18 RMS errors of one attack, weighted vs unweighted scheme.
+
+    Attributes
+    ----------
+    rms_gclr:
+        Average RMS error of Differential Gossip Trust (GCLR weights).
+    rms_unweighted:
+        Same attack against the plain global average (eqs. 8–12), the
+        comparator whose gap to ``rms_gclr`` is eq. 17's damping.
+    clean_outcome, dirty_outcome:
+        Raw gossip outcomes (``None`` under ``use_gossip=False``).
+    backend:
+        Resolved backend name both runs executed on (``None`` for the
+        exact-fixpoint path).
+    epoch:
+        The epoch the attack was applied at (on–off phases).
+    num_nodes_dirty:
+        Node count of the poisoned world (> clean for sybil floods).
+    """
 
     rms_gclr: float
     rms_unweighted: float
     clean_outcome: Optional[GossipOutcome] = None
     dirty_outcome: Optional[GossipOutcome] = None
+    backend: Optional[str] = None
+    epoch: int = 0
+    num_nodes_dirty: int = 0
+
+
+#: Backward-compatible name (pre-adversary-engine API).
+CollusionImpact = AttackImpact
+
+
+@dataclass(frozen=True)
+class _ConcreteCollusion(AttackModel):
+    """Adapter: a fixed :class:`CollusionAttack` as an AttackModel."""
+
+    name = "collusion"
+
+    attack: CollusionAttack = None  # type: ignore[assignment]
+    seed: int = 0
+
+    def apply(self, trust, overlay=None, *, epoch: int = 0):
+        return apply_collusion(trust, self.attack), overlay
+
+
+def as_attack_model(attack: AttackLike) -> AttackModel:
+    """Coerce an attack argument to an :class:`AttackModel`.
+
+    Accepts a model instance, a concrete :class:`CollusionAttack`
+    (wrapped — the pre-engine API) or a registered family name (built
+    with that family's default parameters).
+    """
+    if isinstance(attack, AttackModel):
+        return attack
+    if isinstance(attack, CollusionAttack):
+        return _ConcreteCollusion(attack=attack)
+    if isinstance(attack, str):
+        return make_attack(attack)
+    raise TypeError(
+        f"attack must be an AttackModel, CollusionAttack or registered family "
+        f"name, got {type(attack).__name__}"
+    )
 
 
 def _derive_seed(config: GossipConfig) -> int:
@@ -54,29 +117,68 @@ def _derive_seed(config: GossipConfig) -> int:
     return int(as_generator(config.rng).integers(2**62))
 
 
-def collusion_impact(
+def _poisoned_world(
+    graph: Graph, trust: TrustMatrix, model: AttackModel, epoch: int
+) -> tuple:
+    """Apply ``model`` at ``epoch``; return ``(dirty_graph, dirty_trust)``.
+
+    Matrix-only attacks keep the honest topology; topology-touching
+    attacks get a fresh overlay wrap so sybils join ids ``N..N+S-1``
+    and the snapshot maps them back to contiguous graph nodes.
+    """
+    if not model.affects_topology:
+        return graph, model.poison(trust, epoch=epoch)
+    from repro.network.mutable import MutableOverlay
+
+    poisoned, flooded = model.apply(
+        trust, MutableOverlay.from_graph(graph), epoch=epoch
+    )
+    dirty_graph, pids = flooded.snapshot()
+    if not np.array_equal(pids, np.arange(dirty_graph.num_nodes)):
+        raise ValueError(
+            f"attack {model.name!r} produced non-contiguous peer ids; "
+            "topology attacks must only add peers to a fresh overlay wrap"
+        )
+    return dirty_graph, poisoned
+
+
+class _CleanRunCache(dict):
+    """Private epoch-invariant pieces of a measurement (series reuse).
+
+    The clean world does not depend on the attack epoch, so a series
+    computes its gossip run, reputations, unweighted estimate and the
+    resolved backend once and replays only the dirty side per epoch.
+    """
+
+
+def attack_impact(
     graph: Graph,
     trust: TrustMatrix,
-    attack: CollusionAttack,
+    attack: AttackLike,
     *,
     params: Optional[WeightParams] = None,
     targets: Optional[Sequence[int]] = None,
     use_gossip: bool = True,
     config: Optional[GossipConfig] = None,
-    backend: str = "dense",
-) -> CollusionImpact:
-    """Measure eq.-18 RMS error for one concrete attack on any backend.
+    backend: str = "auto",
+    epoch: int = 0,
+    _clean_cache: Optional[_CleanRunCache] = None,
+) -> AttackImpact:
+    """Measure eq.-18 RMS error for one attack on any backend.
 
     Parameters
     ----------
     graph, trust:
         The honest world.
     attack:
-        The collusion instance to inject (honest matrix is not mutated).
+        An :class:`~repro.attacks.models.AttackModel`, a concrete
+        :class:`~repro.attacks.collusion.CollusionAttack` (wrapped), or
+        a registered family name with default parameters. The honest
+        matrix is never mutated.
     params:
         GCLR weighting constants; defaults to ``config.params``.
     targets:
-        Tracked reputation columns (default: every node).
+        Tracked reputation columns (default: every honest node).
     use_gossip:
         ``True`` runs real differential gossip on ``backend``; ``False``
         uses the exact eq.-6 fixpoint (large sweeps, benchmarks).
@@ -91,64 +193,181 @@ def collusion_impact(
         stateful ``loss_model`` cannot be replayed per run and is
         rejected — use ``loss_probability``.
     backend:
-        Registered gossip backend name (or ``"auto"``).
+        Registered gossip backend name. The default ``"auto"`` follows
+        :func:`~repro.core.backend.choose_backend_name` — resolved
+        *once*, against the poisoned (larger) world, so the clean and
+        dirty runs always execute on the same engine. An explicit name
+        pins one.
+    epoch:
+        Attack epoch — on–off families poison only during their duty
+        cycle's attack phases.
 
     Returns
     -------
-    CollusionImpact
+    AttackImpact
         Eq.-18 errors for the weighted scheme and the unweighted
         comparator, plus the raw outcomes when gossip ran.
     """
     from repro.analysis.metrics import average_rms_error
     from repro.baselines.gossip_trust import unweighted_global_estimate
 
+    model = as_attack_model(attack)
     n = graph.num_nodes
     target_list = list(targets) if targets is not None else list(range(n))
-    poisoned = apply_collusion(trust, attack)
+    dirty_graph, poisoned = _poisoned_world(graph, trust, model, epoch)
     config = config if config is not None else GossipConfig(xi=1e-5)
     params = params if params is not None else config.params
 
+    cache = _clean_cache if _clean_cache is not None else _CleanRunCache()
     clean_outcome = dirty_outcome = None
+    resolved: Optional[str] = None
     if use_gossip:
         if config.loss_model is not None:
             raise ValueError(
-                "collusion_impact replays churn identically across the clean and "
+                "attack_impact replays churn identically across the clean and "
                 "poisoned runs; a shared stateful loss_model cannot be re-seeded — "
                 "pass loss_probability instead"
             )
         run_config = replace(config, rng=_derive_seed(config))
+        # Resolve once — against the poisoned (larger) world, or from
+        # the series cache so every epoch runs on the same engine.
+        resolved = cache.get("resolved")
+        if resolved is None:
+            resolved = (
+                choose_backend_name(dirty_graph, run_config)
+                if backend == "auto"
+                else backend
+            )
+            cache["resolved"] = resolved
         target_array = np.asarray(target_list, dtype=np.int64)
-        reputations = []
-        outcomes = []
-        for matrix in (trust, poisoned):
-            outcome = aggregate(
+        if "clean" not in cache:
+            clean_outcome = aggregate(
                 graph,
-                matrix,
+                trust,
                 run_config,
-                backend=backend,
+                backend=resolved,
                 variant="vector-gclr",
                 targets=target_list,
             )
-            outcomes.append(outcome)
-            reputations.append(
-                gclr_reputations(graph, matrix, target_array, outcome, params, "all")
+            cache["clean"] = (
+                clean_outcome,
+                gclr_reputations(graph, trust, target_array, clean_outcome, params, "all"),
             )
-        clean, dirty = reputations
-        clean_outcome, dirty_outcome = outcomes
+        clean_outcome, clean = cache["clean"]
+        dirty_outcome = aggregate(
+            dirty_graph,
+            poisoned,
+            run_config,
+            backend=resolved,
+            variant="vector-gclr",
+            targets=target_list,
+        )
+        dirty = gclr_reputations(
+            dirty_graph, poisoned, target_array, dirty_outcome, params, "all"
+        )
     else:
-        clean = true_vector_gclr(graph, trust, target_list, params, "all")
-        dirty = true_vector_gclr(graph, poisoned, target_list, params, "all")
+        if "clean_exact" not in cache:
+            cache["clean_exact"] = true_vector_gclr(graph, trust, target_list, params, "all")
+        clean = cache["clean_exact"]
+        dirty = true_vector_gclr(dirty_graph, poisoned, target_list, params, "all")
 
-    rms_gclr = average_rms_error(dirty, clean)
+    # Eq. 18 compares what the *honest* peers believe; sybil rows (ids
+    # >= N) are the attacker's own vantage and are excluded.
+    rms_gclr = average_rms_error(dirty[:n], clean)
 
-    clean_unweighted = unweighted_global_estimate(trust)[target_list]
+    if "clean_unweighted" not in cache:
+        cache["clean_unweighted"] = unweighted_global_estimate(trust)[target_list]
+    clean_unweighted = cache["clean_unweighted"]
     dirty_unweighted = unweighted_global_estimate(poisoned)[target_list]
+    # The unweighted estimate is the same at every node, so eq. 18's
+    # mean-over-rows collapses to the single row's RMS — tiling n
+    # identical rows would be O(n*T) memory for the same number.
     rms_unweighted = average_rms_error(
-        np.tile(dirty_unweighted, (n, 1)), np.tile(clean_unweighted, (n, 1))
+        dirty_unweighted[None, :], clean_unweighted[None, :]
     )
-    return CollusionImpact(
+    return AttackImpact(
         rms_gclr=rms_gclr,
         rms_unweighted=rms_unweighted,
         clean_outcome=clean_outcome,
         dirty_outcome=dirty_outcome,
+        backend=resolved,
+        epoch=epoch,
+        num_nodes_dirty=dirty_graph.num_nodes,
+    )
+
+
+def attack_impact_series(
+    graph: Graph,
+    trust: TrustMatrix,
+    attack: AttackLike,
+    *,
+    epochs: int,
+    params: Optional[WeightParams] = None,
+    targets: Optional[Sequence[int]] = None,
+    use_gossip: bool = True,
+    config: Optional[GossipConfig] = None,
+    backend: str = "auto",
+) -> List[AttackImpact]:
+    """Per-epoch impact trace: :func:`attack_impact` at epochs ``0..E-1``.
+
+    All epochs share one derived seed, so the *clean* run's gossip noise
+    is identical across the series and epoch-to-epoch differences are
+    attack dynamics only — an on–off adversary traces its duty cycle
+    (``rms_gclr`` collapses to 0 in every honest phase), a static
+    adversary traces a flat line. Because the clean world is
+    epoch-invariant, its gossip run (and the ``"auto"`` backend
+    resolution) executes once and is reused by every epoch's
+    measurement — all returned impacts share one ``clean_outcome``.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    config = config if config is not None else GossipConfig(xi=1e-5)
+    shared = replace(config, rng=_derive_seed(config))
+    cache = _CleanRunCache()
+    return [
+        attack_impact(
+            graph,
+            trust,
+            attack,
+            params=params,
+            targets=targets,
+            use_gossip=use_gossip,
+            config=shared,
+            backend=backend,
+            epoch=epoch,
+            _clean_cache=cache,
+        )
+        for epoch in range(epochs)
+    ]
+
+
+def collusion_impact(
+    graph: Graph,
+    trust: TrustMatrix,
+    attack: CollusionAttack,
+    *,
+    params: Optional[WeightParams] = None,
+    targets: Optional[Sequence[int]] = None,
+    use_gossip: bool = True,
+    config: Optional[GossipConfig] = None,
+    backend: str = "auto",
+) -> AttackImpact:
+    """Measure one concrete collusion attack (pre-engine API).
+
+    Thin wrapper over :func:`attack_impact`. The default ``backend``
+    is ``"auto"`` — it used to be hard-wired to ``"dense"``, which
+    silently bypassed :func:`~repro.core.backend.choose_backend_name`
+    on large graphs (the same bug class
+    :func:`repro.baselines.push_sum.push_sum_average` had); pass an
+    explicit name to pin an engine.
+    """
+    return attack_impact(
+        graph,
+        trust,
+        attack,
+        params=params,
+        targets=targets,
+        use_gossip=use_gossip,
+        config=config,
+        backend=backend,
     )

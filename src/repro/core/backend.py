@@ -80,7 +80,13 @@ class GossipConfig:
     k:
         Fixed per-node push count; ``None`` (default) selects the
         paper's differential rule, ``1`` reproduces normal push gossip.
-        Mutually exclusive with ``push_counts``.
+        Mutually exclusive with ``push_counts``. Caveat: with a small
+        fixed ``k`` the per-node xi-movement stop can fire prematurely —
+        a node receiving no pushes for ``patience`` steps sees zero
+        movement and announces while mixing is still finishing, so
+        normal-push estimates may end ~1e-6 off a tight-``xi`` fixpoint.
+        That reception starvation is exactly what the differential
+        rule's degree-scaled push counts prevent (Section 4.2).
     push_counts:
         Explicit per-node push-count array (ablations); overrides ``k``.
     params:

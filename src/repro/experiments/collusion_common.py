@@ -96,13 +96,16 @@ def measure_collusion(
     use_gossip: bool = True,
     xi: float = 1e-5,
     seed: int = 0,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> tuple:
     """Measure eq.-18 RMS error for one concrete attack.
 
-    Thin wrapper over :func:`repro.attacks.evaluate.collusion_impact`
-    (the unified-backend measurement), kept for the tuple return shape
-    the figure experiments consume.
+    Thin wrapper over :func:`repro.attacks.evaluate.attack_impact` (via
+    the :func:`~repro.attacks.evaluate.collusion_impact` compatibility
+    name), kept for the tuple return shape the figure experiments
+    consume. ``attack`` may equally be any
+    :class:`repro.attacks.models.AttackModel` — the measurement is
+    family-agnostic.
 
     Parameters
     ----------
@@ -122,7 +125,9 @@ def measure_collusion(
     xi, seed:
         Gossip controls (ignored when ``use_gossip`` is False).
     backend:
-        Registered gossip backend the rounds run on.
+        Registered gossip backend the rounds run on; the default
+        ``"auto"`` follows :func:`repro.core.backend.choose_backend_name`
+        instead of silently pinning the dense engine.
 
     Returns
     -------
@@ -154,7 +159,7 @@ def sweep_collusion(
     xi: float = 1e-5,
     seed: int = 0,
     m: int = 2,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> list:
     """Full (fraction x group size) sweep; returns CollusionMeasurement list."""
     root = as_generator(seed)

@@ -31,9 +31,15 @@ def run(
     group_sizes: Sequence[int] = GROUP_SIZES,
     use_gossip: bool = True,
     seed: int = 17,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
-    """Regenerate Figure 5 (rows: colluding fraction; column pair per G)."""
+    """Regenerate Figure 5 (rows: colluding fraction; column pair per G).
+
+    ``backend`` names any registered gossip engine (message / dense /
+    sparse / sharded); ``"auto"`` follows the size policy — the
+    measurement itself runs through the family-agnostic
+    :func:`repro.attacks.evaluate.attack_impact`.
+    """
     if num_nodes is None:
         num_nodes = FULL_N if full_scale_enabled() else QUICK_N
     with Stopwatch() as watch:

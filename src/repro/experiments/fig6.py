@@ -26,9 +26,15 @@ def run(
     fractions: Sequence[float] = FRACTIONS,
     use_gossip: bool = True,
     seed: int = 19,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
-    """Regenerate Figure 6 (rows: colluding fraction; G fixed at 1)."""
+    """Regenerate Figure 6 (rows: colluding fraction; G fixed at 1).
+
+    ``backend`` names any registered gossip engine (message / dense /
+    sparse / sharded); ``"auto"`` follows the size policy — the
+    measurement itself runs through the family-agnostic
+    :func:`repro.attacks.evaluate.attack_impact`.
+    """
     if num_nodes is None:
         num_nodes = FULL_N if full_scale_enabled() else QUICK_N
     with Stopwatch() as watch:

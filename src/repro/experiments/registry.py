@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (
+    attack_sweeps,
     eq17,
     fig3,
     fig4,
@@ -19,7 +20,8 @@ from repro.experiments.runner import ExperimentResult
 
 ExperimentRunner = Callable[..., ExperimentResult]
 
-#: Experiment id -> runner. Ids match DESIGN.md's experiment index.
+#: Experiment id -> runner. Ids match DESIGN.md's experiment index,
+#: plus the attack-robustness sweeps (attack_*) beyond the paper.
 EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "table1": table1.run,
     "table2": table2.run,
@@ -30,6 +32,8 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "theorem52": theorem52.run,
     "eq17": eq17.run,
     "xi_accuracy": xi_accuracy.run,
+    "attack_slander": attack_sweeps.run_slander,
+    "attack_sybil": attack_sweeps.run_sybil,
 }
 
 

@@ -174,6 +174,29 @@ class MutableOverlay:
         dead = np.flatnonzero(~self._alive[: self._next_pid])
         assert not np.any(self._deg[dead]), "departed peers must have degree 0"
 
+    def copy(self) -> "MutableOverlay":
+        """Independent deep copy (peer ids, adjacency, pending deltas).
+
+        Attack models poison *copies* of the world — a sybil flood joins
+        its swarm to a copied overlay so the honest topology stays the
+        clean-run baseline. The cached immutable snapshot (if any) is
+        shared: :class:`Graph` is read-only and either copy invalidates
+        its own cache on the next mutation.
+        """
+        clone = MutableOverlay()
+        clone._adj = {peer: set(nbrs) for peer, nbrs in self._adj.items()}
+        clone._next_pid = self._next_pid
+        clone._deg = self._deg.copy()
+        clone._alive = self._alive.copy()
+        clone._num_edges = self._num_edges
+        clone._snap_rows = self._snap_rows.copy()
+        clone._snap_cols = self._snap_cols.copy()
+        clone._pending_add = set(self._pending_add)
+        clone._pending_remove = set(self._pending_remove)
+        clone._cached_graph = self._cached_graph
+        clone._cached_pids = self._cached_pids
+        return clone
+
     # -- mutation ------------------------------------------------------------
 
     def _invalidate(self) -> None:

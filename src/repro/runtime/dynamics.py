@@ -91,6 +91,10 @@ from repro.utils.rng import stateless_child_sequence
 #: Key offset for per-epoch replay streams (keeps them clear of sweep keys).
 EPOCH_STREAM_KEY = 0xD1AA0000
 
+#: Per-epoch child key of the adversary stream (clear of the gossip
+#: block keys 1, 2, 3, ... used by the accuracy stop rule).
+ATTACK_EPOCH_KEY = 0xA77AC
+
 #: Epoch stop rules (see module docstring).
 STOP_RULES = ("accuracy", "protocol")
 
@@ -131,6 +135,7 @@ class EpochRecord:
     max_abs_error: float
     mean_abs_error: float
     elapsed_seconds: float
+    attack_events: int = 0
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-friendly record."""
@@ -148,6 +153,7 @@ class EpochRecord:
             "max_abs_error": self.max_abs_error,
             "mean_abs_error": self.mean_abs_error,
             "elapsed_seconds": self.elapsed_seconds,
+            "attack_events": self.attack_events,
         }
 
 
@@ -257,6 +263,15 @@ class DynamicReputationRuntime:
         accumulate; ``1.0`` makes re-draws effectively uniform).
     attachment_m:
         Edges each joiner wires (preferential attachment).
+    attack:
+        Optional :class:`repro.attacks.models.AttackModel` acting on the
+        live runtime: its :meth:`~repro.attacks.models.AttackModel.on_epoch`
+        hook runs once per epoch (after churn and drift, before gossip)
+        with a replayable per-epoch stream — whitewashers cycle
+        identities through :meth:`whitewash_peer`, sybil floods join
+        through :meth:`join_attacker`, oscillators flip opinions through
+        :meth:`republish_opinion`. The event count lands in
+        :attr:`EpochRecord.attack_events`.
     """
 
     def __init__(
@@ -274,6 +289,7 @@ class DynamicReputationRuntime:
         opinion_drift: float = 0.0,
         drift_scale: float = 0.1,
         attachment_m: int = 2,
+        attack=None,
     ):
         if stop_rule not in STOP_RULES:
             raise ValueError(f"stop_rule must be one of {STOP_RULES}, got {stop_rule!r}")
@@ -321,6 +337,9 @@ class DynamicReputationRuntime:
         self._drift = float(opinion_drift)
         self._drift_scale = float(drift_scale)
         self._m = int(attachment_m)
+        self._attack = attack
+        # Departures caused by the attack hook this epoch (bridge gate).
+        self._attack_removed_peers = 0
         # Per-peer state indexed by peer id (grown on demand): published
         # opinion, gossip value, gossip weight.
         self._x = np.zeros(0, dtype=np.float64)
@@ -402,6 +421,19 @@ class DynamicReputationRuntime:
         arrivals = self._apply_arrivals(epoch, arrivals, rng)
         self._apply_drift(rng)
 
+        attack_events = 0
+        if self._attack is not None:
+            attack_rng = np.random.default_rng(
+                stateless_child_sequence(seed, ATTACK_EPOCH_KEY)
+            )
+            self._attack_removed_peers = 0
+            attack_events = int(self._attack.on_epoch(self, epoch, attack_rng))
+            if self._attack_removed_peers:
+                # Only identity churn (whitewash leave/rejoin) can split
+                # the overlay; republish/join-only attacks skip the
+                # O(N + E) sweep, same as the join-only branch above.
+                self._overlay.bridge_components(rng=attack_rng)
+
         graph, pids = overlay.snapshot()
         warm = self._warm_start and epoch > 0
         if warm:
@@ -450,6 +482,7 @@ class DynamicReputationRuntime:
             max_abs_error=max_error,
             mean_abs_error=mean_error,
             elapsed_seconds=time.perf_counter() - started,
+            attack_events=attack_events,
         )
 
     def _run_to_accuracy(
@@ -514,19 +547,11 @@ class DynamicReputationRuntime:
                 break
             pids = overlay.peer_ids()
             victim = int(pids[rng.integers(pids.shape[0])])
-            former = overlay.remove_peer(victim, rewire_isolated=True, rng=rng)
             # Mass conservation with opinion retirement: the heir
             # receives the leaver's converged pair minus the leaver's
             # own published contribution (x, 1), so the departed opinion
             # stops counting toward the global ratio.
-            if former:
-                heir = int(former[rng.integers(len(former))])
-            else:
-                live = overlay.peer_ids()
-                heir = int(live[rng.integers(live.shape[0])])
-            self._v[heir] += self._v[victim] - self._x[victim]
-            self._w[heir] += self._w[victim] - 1.0
-            self._v[victim] = self._w[victim] = self._x[victim] = 0.0
+            self._depart_peer(victim, rng)
             applied += 1
         return applied
 
@@ -536,15 +561,99 @@ class DynamicReputationRuntime:
         for _ in range(arrivals):
             pid = overlay.add_peer(m=self._m, rng=rng)
             self._grow_state()
-            if self._policy is not None:
-                self._policy.observe_join(now=float(epoch), population=overlay.num_peers)
-                opinion = self._policy.initial_trust(now=float(epoch))
-            else:
-                opinion = float(rng.random())
+            opinion = self._newcomer_opinion(epoch, rng)
             self._x[pid] = opinion
             self._v[pid] = opinion
             self._w[pid] = 1.0
         return arrivals
+
+    # -- adversary surface ---------------------------------------------------
+    # The operations an AttackModel.on_epoch hook composes: they reuse the
+    # leaver/joiner mass bookkeeping, so any attack sequence preserves the
+    # Δ=0 invariant sum(values)/sum(weights) == mean(x) over live peers.
+
+    def _depart_peer(self, pid: int, rng: np.random.Generator) -> None:
+        """The leaver rule, in one place for churn and attacks alike:
+        remove ``pid``, hand its pair — minus its own published opinion
+        ``(x, 1)`` — to a former neighbour, zero its state. This is the
+        only code maintaining the Δ=0 mass invariant on departure."""
+        former = self._overlay.remove_peer(pid, rewire_isolated=True, rng=rng)
+        if former:
+            heir = int(former[rng.integers(len(former))])
+        else:
+            live = self._overlay.peer_ids()
+            heir = int(live[rng.integers(live.shape[0])])
+        self._v[heir] += self._v[pid] - self._x[pid]
+        self._w[heir] += self._w[pid] - 1.0
+        self._v[pid] = self._w[pid] = self._x[pid] = 0.0
+
+    def _newcomer_opinion(
+        self,
+        epoch: int,
+        rng: np.random.Generator,
+        *,
+        fallback: Optional[float] = None,
+    ) -> float:
+        """The joiner grant, in one place: the installed newcomer policy
+        (which also observes the join), else ``fallback``, else a fresh
+        uniform opinion. Call *after* the peer joined, so the policy
+        sees the post-join population."""
+        if self._policy is not None:
+            self._policy.observe_join(now=float(epoch), population=self._overlay.num_peers)
+            return float(self._policy.initial_trust(now=float(epoch)))
+        if fallback is not None:
+            return float(fallback)
+        return float(rng.random())
+
+    def republish_opinion(self, pid: int, value: float) -> None:
+        """Publish a changed opinion now (Algorithm 2's re-announcement).
+
+        The opinion delta is injected into the peer's gossip value
+        unconditionally — an adversary re-announces whatever it wants,
+        the Δ gate only filters *honest* drift.
+        """
+        self._v[pid] += value - self._x[pid]
+        self._x[pid] = value
+
+    def join_attacker(
+        self, opinion: float, rng: np.random.Generator, *, m: Optional[int] = None
+    ) -> int:
+        """Join one adversarial identity publishing ``opinion``; return its id.
+
+        Unlike honest arrivals the opinion is the attacker's choice, not
+        the newcomer policy's grant — that asymmetry is what sybil
+        floods exploit.
+        """
+        pid = self._overlay.add_peer(m=self._m if m is None else int(m), rng=rng)
+        self._grow_state()
+        self._x[pid] = self._v[pid] = float(opinion)
+        self._w[pid] = 1.0
+        return pid
+
+    def whitewash_peer(
+        self,
+        pid: int,
+        rng: np.random.Generator,
+        *,
+        epoch: int = 0,
+        newcomer_opinion: float = 0.0,
+    ) -> int:
+        """Cycle ``pid``'s identity: leave, then rejoin fresh; return the new id.
+
+        The departure follows the leaver rule (mass handed to a former
+        neighbour with the published opinion retired); the rejoin enters
+        with the newcomer policy's grant when one is installed, else
+        ``newcomer_opinion`` (the paper's zero-trust default — which is
+        exactly why whitewashing buys nothing here).
+        """
+        self._depart_peer(pid, rng)
+        self._attack_removed_peers += 1
+        new_pid = self._overlay.add_peer(m=self._m, rng=rng)
+        self._grow_state()
+        opinion = self._newcomer_opinion(epoch, rng, fallback=newcomer_opinion)
+        self._x[new_pid] = self._v[new_pid] = opinion
+        self._w[new_pid] = 1.0
+        return new_pid
 
     def _apply_drift(self, rng: np.random.Generator) -> None:
         """Re-draw a fraction of opinions; Δ-gate the re-push corrections."""
@@ -581,6 +690,7 @@ def run_dynamic(
     opinion_drift: float = 0.0,
     drift_scale: float = 0.1,
     attachment_m: int = 2,
+    attack=None,
 ) -> DynamicRunResult:
     """Run reputation aggregation over a churning overlay, one epoch per trace entry.
 
@@ -601,7 +711,7 @@ def run_dynamic(
     config:
         Shared gossip knobs (:class:`repro.core.backend.GossipConfig`).
     backend, warm_start, stop_rule, epoch_tol, block_steps, warm_warmup_steps, \
-newcomer_policy, opinion_drift, drift_scale, attachment_m:
+newcomer_policy, opinion_drift, drift_scale, attachment_m, attack:
         See :class:`DynamicReputationRuntime`.
 
     Examples
@@ -631,5 +741,6 @@ newcomer_policy, opinion_drift, drift_scale, attachment_m:
         opinion_drift=opinion_drift,
         drift_scale=drift_scale,
         attachment_m=attachment_m,
+        attack=attack,
     )
     return runtime.run(trace)

@@ -1,13 +1,16 @@
 """The seeded scenario catalogue.
 
-Seven scenarios ship with the repro, spanning the design space the
+Ten scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
 churn × attack × dynamics × backend), so new scenarios are a
 registration call away — no new plumbing. The two dynamic scenarios
 (``flash-crowd``, ``steady-churn-100k``) run the epoch runtime of
-:mod:`repro.runtime` instead of a single static round, and
+:mod:`repro.runtime` instead of a single static round,
 ``million-peer-sharded`` exercises the multi-process sharded backend
-at the scale it exists for.
+at the scale it exists for, and three adversary scenarios
+(``slander-under-churn``, ``sybil-flood-100k``,
+``oscillating-colluders-sharded``) sweep the attack registry of
+:mod:`repro.attacks.models` across the backend spectrum.
 """
 
 from __future__ import annotations
@@ -138,6 +141,70 @@ MILLION_PEER_SHARDED = register_scenario(
         max_steps=50_000,
         seed=417,
         shard_workers=4,
+    )
+)
+
+SLANDER_UNDER_CHURN = register_scenario(
+    Scenario(
+        name="slander-under-churn",
+        description=(
+            "Targeted bad-mouthing while 20% of pushes are lost: 25% slanderers "
+            "plant zero-trust reports about a 15% victim set — eq.-18 RMS error, "
+            "clean vs poisoned runs under identical seeds."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=250, small_num_nodes=80, m=2),
+        workload=WorkloadSpec(kind="trust-gclr", num_targets=30, observations="complete"),
+        churn=ChurnSpec(loss_probability=0.2),
+        attack=AttackSpec(kind="slandering", fraction=0.25, victim_fraction=0.15),
+        backend="auto",
+        xi=1e-4,
+        seed=418,
+    )
+)
+
+SYBIL_FLOOD_100K = register_scenario(
+    Scenario(
+        name="sybil-flood-100k",
+        description=(
+            "Sybil join flood at 100 000 peers on the sparse CSR backend: a 10% "
+            "sybil swarm joins by preferential attachment, praises its operator "
+            "and badmouths sampled honest peers; honest peers grant the "
+            "strangers the paper's zero initial trust."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=100_000, small_num_nodes=2000, m=2),
+        workload=WorkloadSpec(kind="trust-gclr", num_targets=20, observations="edge-local"),
+        attack=AttackSpec(kind="sybil", sybil_fraction=0.1, attach_m=2),
+        backend="sparse",
+        xi=1e-3,
+        max_steps=50_000,
+        seed=419,
+    )
+)
+
+OSCILLATING_COLLUDERS_SHARDED = register_scenario(
+    Scenario(
+        name="oscillating-colluders-sharded",
+        description=(
+            "On-off adversaries on the sharded backend: 5% oscillators slander a "
+            "capped victim set on even epochs and behave honestly on odd ones; "
+            "the off-phase rms collapses to 0 under shared seeds (rms_gclr_off)."
+        ),
+        topology=TopologySpec(
+            kind="powerlaw-fast", num_nodes=100_000, small_num_nodes=1500, m=2
+        ),
+        workload=WorkloadSpec(kind="trust-gclr", num_targets=20, observations="edge-local"),
+        attack=AttackSpec(
+            kind="on-off",
+            fraction=0.05,
+            victim_fraction=0.1,
+            max_victims=50,
+            period=2,
+            on_epochs=1,
+        ),
+        backend="sharded",
+        xi=1e-3,
+        max_steps=50_000,
+        seed=420,
     )
 )
 

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.attacks.models import AttackModel
 
 from repro.core.backend import GossipConfig, choose_backend_name, resolve_backend_name
 from repro.facade import aggregate
@@ -124,16 +127,108 @@ class ChurnSpec:
 
 @dataclass(frozen=True)
 class AttackSpec:
-    """Collusion adversary (Section 5.2): fraction of peers, group size."""
+    """Adversary axis: one registered attack family plus its parameters.
 
+    ``kind`` names any family in the attack registry
+    (:mod:`repro.attacks.models`; aliases resolve). Unused parameters
+    are ignored by :meth:`build`, so one spec shape covers every
+    family:
+
+    - ``"collusion"`` — ``fraction``, ``group_size`` (Section 5.2);
+    - ``"slandering"`` — ``fraction``, ``victim_fraction``, ``value``,
+      ``max_victims``;
+    - ``"whitewashing"`` — ``fraction``, ``newcomer_trust``;
+    - ``"on-off"`` — ``fraction``, ``period``, ``on_epochs``, wrapping
+      a slandering inner attack (``victim_fraction``/``value``/
+      ``max_victims``) so the duty cycle stays sparse at any scale;
+    - ``"sybil"`` — ``sybil_fraction``, ``attach_m``.
+    """
+
+    kind: str = "collusion"
     fraction: float = 0.3
     group_size: int = 5
+    victim_fraction: float = 0.1
+    value: float = 0.0
+    max_victims: Optional[int] = None
+    period: int = 2
+    on_epochs: int = 1
+    sybil_fraction: float = 0.1
+    attach_m: int = 2
+    newcomer_trust: float = 0.0
 
     def __post_init__(self) -> None:
+        from repro.attacks.models import resolve_attack_name
+
+        resolve_attack_name(self.kind)  # raises UnknownAttackError early
         if not 0.0 < self.fraction < 1.0:
             raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
         if self.group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        # Per-family parameters fail at spec construction, not mid-run:
+        # a registered scenario with a bad duty cycle or victim cap
+        # should never survive to topology building.
+        if not 0.0 <= self.victim_fraction < 1.0:
+            raise ValueError(f"victim_fraction must be in [0, 1), got {self.victim_fraction}")
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(f"value must be in [0, 1], got {self.value}")
+        if self.max_victims is not None and self.max_victims < 1:
+            raise ValueError(f"max_victims must be >= 1, got {self.max_victims}")
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not 0 < self.on_epochs <= self.period:
+            raise ValueError(
+                f"on_epochs must be in 1..period ({self.period}), got {self.on_epochs}"
+            )
+        if not 0.0 < self.sybil_fraction < 1.0:
+            raise ValueError(f"sybil_fraction must be in (0, 1), got {self.sybil_fraction}")
+        if self.attach_m < 1:
+            raise ValueError(f"attach_m must be >= 1, got {self.attach_m}")
+        if not 0.0 <= self.newcomer_trust <= 1.0:
+            raise ValueError(f"newcomer_trust must be in [0, 1], got {self.newcomer_trust}")
+
+    def _slander_params(self) -> Dict:
+        """Slandering kwargs; ``max_victims=None`` defers to the family's
+        default cap rather than lifting it."""
+        params: Dict = dict(
+            fraction=self.fraction,
+            victim_fraction=self.victim_fraction,
+            value=self.value,
+        )
+        if self.max_victims is not None:
+            params["max_victims"] = self.max_victims
+        return params
+
+    def build(self, *, seed: int) -> "AttackModel":
+        """Instantiate the family with this spec's parameters and ``seed``."""
+        from repro.attacks.models import make_attack, resolve_attack_name
+
+        kind = resolve_attack_name(self.kind)
+        if kind == "collusion":
+            return make_attack(
+                kind, fraction=self.fraction, group_size=self.group_size, seed=seed
+            )
+        if kind == "slandering":
+            return make_attack(kind, seed=seed, **self._slander_params())
+        if kind == "whitewashing":
+            return make_attack(
+                kind, fraction=self.fraction, newcomer_trust=self.newcomer_trust, seed=seed
+            )
+        if kind == "on-off":
+            inner = make_attack("slandering", seed=seed, **self._slander_params())
+            return make_attack(
+                kind,
+                fraction=self.fraction,
+                period=self.period,
+                on_epochs=self.on_epochs,
+                inner=inner,
+                seed=seed,
+            )
+        if kind == "sybil":
+            return make_attack(
+                kind, sybil_fraction=self.sybil_fraction, attach_m=self.attach_m, seed=seed
+            )
+        # Third-party families run with their registered defaults.
+        return make_attack(kind, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -380,6 +475,11 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         if spec.newcomer_trust is not None
         else None
     )
+    attack = (
+        scenario.attack.build(seed=int(root.integers(2**62)))
+        if scenario.attack is not None
+        else None
+    )
     start = time.perf_counter()
     result = run_dynamic(
         MutableOverlay.from_graph(graph),
@@ -393,6 +493,7 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         opinion_drift=spec.opinion_drift,
         drift_scale=spec.drift_scale,
         attachment_m=scenario.topology.m,
+        attack=attack,
     )
     elapsed = time.perf_counter() - start
     final = result.final_record
@@ -405,6 +506,10 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         "final_mean_abs_error": final.mean_abs_error,
         "final_num_peers": float(final.num_peers),
     }
+    if attack is not None:
+        metrics["total_attack_events"] = float(
+            sum(r.attack_events for r in result.records)
+        )
     notes = [
         f"{'warm' if spec.warm_start else 'cold'}-start epochs under the "
         f"'{spec.stop_rule}' stop rule (tol={spec.epoch_tol:g})",
@@ -470,32 +575,76 @@ def _run_trust_global(scenario, graph, config, backend, root):
 
 
 def _run_trust_gclr(scenario, graph, config, backend, root):
-    """Full DGT under a collusion attack (eq.-18 RMS error), clean vs dirty."""
-    from repro.attacks.collusion import group_colluders, select_colluders
-    from repro.attacks.evaluate import collusion_impact
-    from repro.trust.matrix import complete_trust_matrix
+    """Full DGT under a registered attack (eq.-18 RMS error), clean vs dirty."""
+    from repro.attacks.evaluate import _CleanRunCache, attack_impact
+    from repro.attacks.models import CollusionModel, OnOffModel
+    from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
 
     n = graph.num_nodes
-    trust = complete_trust_matrix(n, rng=as_generator(int(root.integers(2**62))))
-    colluders = select_colluders(
-        n, scenario.attack.fraction, rng=as_generator(int(root.integers(2**62)))
-    )
-    attack = group_colluders(colluders, scenario.attack.group_size)
+    if scenario.workload.observations == "complete":
+        trust = complete_trust_matrix(n, rng=as_generator(int(root.integers(2**62))))
+    else:
+        trust = random_trust_matrix(graph, rng=as_generator(int(root.integers(2**62))))
+    model = scenario.attack.build(seed=int(root.integers(2**62)))
     num_targets = min(scenario.workload.num_targets, n)
     target_rng = as_generator(int(root.integers(2**62)))
     targets = sorted(int(t) for t in target_rng.choice(n, size=num_targets, replace=False))
-    impact = collusion_impact(
-        graph, trust, attack, targets=targets, config=config, backend=backend
+    # Slander-type attacks poison a bounded victim set; uniformly
+    # sampled target columns would almost never intersect it at scale
+    # and eq. 18 would measure second-order weight noise instead of the
+    # attack. Steer half the tracked columns onto seeded victims.
+    probe = model.inner if isinstance(model, OnOffModel) and model.inner is not None else model
+    if hasattr(probe, "cast"):
+        _, victims = probe.cast(n)
+        if victims.size:
+            half = max(1, num_targets // 2)
+            picked = set(
+                int(v)
+                for v in (
+                    victims
+                    if victims.size <= half
+                    else target_rng.choice(victims, size=half, replace=False)
+                )
+            )
+            # Victims are kept unconditionally; the uniform draw only
+            # fills the remaining slots (truncating the sorted union
+            # could drop every steered victim again).
+            fill = [t for t in targets if t not in picked]
+            targets = sorted(picked | set(fill[: max(0, num_targets - len(picked))]))
+    clean_cache = _CleanRunCache()
+    impact = attack_impact(
+        graph, trust, model, targets=targets, config=config, backend=backend,
+        _clean_cache=clean_cache,
     )
     metrics = {
         "rms_gclr": impact.rms_gclr,
         "rms_unweighted": impact.rms_unweighted,
-        "num_colluders": float(attack.num_colluders),
+        "num_nodes_dirty": float(impact.num_nodes_dirty),
         "loss_probability": scenario.churn.loss_probability,
     }
+    if isinstance(model, CollusionModel):
+        metrics["num_colluders"] = float(model.attack_for(n).num_colluders)
+    if isinstance(model, OnOffModel) and model.on_epochs < model.period:
+        # The duty cycle's honest phase: with identical seeds the poison
+        # vanishes entirely, so rms must collapse to ~0 — recorded so an
+        # oscillating adversary's two faces sit side by side. The shared
+        # cache reuses the on-phase clean run; only the (trivially
+        # clean-identical) dirty side runs again, as the actual check.
+        off = attack_impact(
+            graph,
+            trust,
+            model,
+            targets=targets,
+            config=config,
+            backend=backend,
+            epoch=model.on_epochs,
+            _clean_cache=clean_cache,
+        )
+        metrics["rms_gclr_off"] = off.rms_gclr
     notes = [
-        f"collusion fraction={scenario.attack.fraction:g}, G={scenario.attack.group_size}; "
+        f"attack family '{model.name}' ({scenario.attack.kind}); "
         "identical seeds for clean/poisoned runs (gossip noise cancels)",
+        f"{scenario.workload.observations} trust observations",
     ]
     return impact.clean_outcome, metrics, notes
 

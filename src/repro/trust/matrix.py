@@ -158,7 +158,21 @@ class TrustMatrix:
 
     def copy(self) -> "TrustMatrix":
         """Deep copy (attack models mutate copies, never originals)."""
-        clone = TrustMatrix(self._num_nodes)
+        return self.resized(self._num_nodes)
+
+    def resized(self, num_nodes: int) -> "TrustMatrix":
+        """Deep copy with capacity grown to ``num_nodes``.
+
+        Sybil-style attacks enlarge the world: the new identities get
+        ids ``N .. num_nodes-1`` and start with no entries in either
+        direction (strangers — the paper's implicit trust 0). Shrinking
+        is rejected: entries about removed ids would dangle.
+        """
+        if num_nodes < self._num_nodes:
+            raise ValueError(
+                f"cannot shrink a trust matrix from {self._num_nodes} to {num_nodes} nodes"
+            )
+        clone = TrustMatrix(num_nodes)
         for observer, target, value in self.items():
             clone.set(observer, target, value)
         return clone

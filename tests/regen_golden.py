@@ -35,6 +35,23 @@ GOLDEN_SPECS: Dict[str, dict] = {
         num_nodes=150, loss_probabilities=(0.0, 0.2), xis=(1e-2, 1e-3), seed=13, backend="dense"
     ),
     "table2": dict(sizes=(60, 120), xis=(1e-2, 1e-3), seed=7, backend="dense"),
+    "attack_slander": dict(
+        num_nodes=80,
+        fractions=(0.1, 0.3),
+        victim_fraction=0.15,
+        num_targets=20,
+        xi=1e-3,
+        seed=21,
+        backend="dense",
+    ),
+    "attack_sybil": dict(
+        num_nodes=80,
+        sybil_fractions=(0.1, 0.25),
+        num_targets=20,
+        xi=1e-3,
+        seed=27,
+        backend="dense",
+    ),
 }
 
 

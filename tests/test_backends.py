@@ -218,6 +218,34 @@ class TestAutoSelection:
         config = GossipConfig(run_to_max=True, max_steps=5)
         assert choose_backend_name(example_network(), config) == "dense"
 
+    def _sharded_scale_ring(self):
+        from repro.core.backend import AUTO_SPARSE_MAX_NODES
+
+        n = AUTO_SPARSE_MAX_NODES + 1
+        i = np.arange(n, dtype=np.int64)
+        a, b = (i - 1) % n, (i + 1) % n
+        cols = np.empty(2 * n, dtype=np.int64)
+        cols[0::2] = np.minimum(a, b)
+        cols[1::2] = np.maximum(a, b)
+        return Graph.from_csr(n, 2 * np.arange(n + 1, dtype=np.int64), cols, validate=False)
+
+    def test_loss_model_config_falls_back_to_sparse_at_sharded_scale(self):
+        # Regression (satellite of the adversary-engine PR): the sharded
+        # engine cannot split an explicit PacketLossModel generator
+        # across shards, so the auto policy must keep such configs on
+        # the single-process sparse engine instead of escalating into a
+        # BackendCapabilityError...
+        from repro.network.churn import PacketLossModel
+
+        ring = self._sharded_scale_ring()
+        assert choose_backend_name(ring) == "sharded"
+        lossy = GossipConfig(loss_model=PacketLossModel(0.2, rng=0))
+        assert choose_backend_name(ring, lossy) == "sparse"
+        # ...while seed-derived loss keeps the escalation (the sharded
+        # engine derives per-shard streams from loss_probability).
+        seeded = GossipConfig(loss_probability=0.2, rng=0)
+        assert choose_backend_name(ring, seeded) == "sharded"
+
 
 class TestCapabilityErrors:
     def test_message_rejects_run_to_max(self, fixture_values):

@@ -25,6 +25,8 @@ class TestRegistry:
             "theorem52",
             "eq17",
             "xi_accuracy",
+            "attack_slander",
+            "attack_sybil",
         }
 
     def test_lookup_unknown_raises_with_catalogue(self):

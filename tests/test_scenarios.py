@@ -17,12 +17,13 @@ from repro.scenarios import (
 from repro.scenarios.__main__ import main as scenarios_main
 
 SEEDED = ("static-powerlaw", "churn-heavy", "collusion-under-churn", "free-riding-500k")
+ATTACK_SEEDED = ("slander-under-churn", "sybil-flood-100k", "oscillating-colluders-sharded")
 
 
 class TestCatalogue:
     def test_seeded_scenarios_registered(self):
         names = available_scenarios()
-        for expected in SEEDED:
+        for expected in SEEDED + ATTACK_SEEDED:
             assert expected in names
 
     def test_unknown_scenario_lists_catalogue(self):
@@ -54,6 +55,45 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="group_size"):
             AttackSpec(group_size=0)
 
+    def test_attack_family_params_validated_at_construction(self):
+        # Bad per-family knobs fail when the spec is built, not mid-run.
+        with pytest.raises(ValueError, match="period"):
+            AttackSpec(kind="on-off", period=0)
+        with pytest.raises(ValueError, match="on_epochs"):
+            AttackSpec(kind="on-off", period=2, on_epochs=3)
+        with pytest.raises(ValueError, match="victim_fraction"):
+            AttackSpec(kind="slandering", victim_fraction=1.0)
+        with pytest.raises(ValueError, match="sybil_fraction"):
+            AttackSpec(kind="sybil", sybil_fraction=0.0)
+        with pytest.raises(ValueError, match="newcomer_trust"):
+            AttackSpec(kind="whitewashing", newcomer_trust=1.5)
+
+    def test_attack_kind_validated_against_registry(self):
+        with pytest.raises(ValueError, match="available"):
+            AttackSpec(kind="ddos")
+        # Aliases are accepted and build the canonical family.
+        from repro.attacks.models import SlanderingModel
+
+        spec = AttackSpec(kind="bad-mouthing", fraction=0.2)
+        assert isinstance(spec.build(seed=1), SlanderingModel)
+
+    def test_attack_spec_builds_every_family(self):
+        from repro.attacks.models import (
+            CollusionModel,
+            OnOffModel,
+            SybilFloodModel,
+            WhitewashingAttackModel,
+        )
+
+        assert isinstance(AttackSpec(kind="collusion").build(seed=1), CollusionModel)
+        assert isinstance(
+            AttackSpec(kind="whitewashing").build(seed=1), WhitewashingAttackModel
+        )
+        on_off = AttackSpec(kind="on-off", max_victims=5).build(seed=1)
+        assert isinstance(on_off, OnOffModel)
+        assert on_off.inner is not None and on_off.inner.max_victims == 5
+        assert isinstance(AttackSpec(kind="sybil").build(seed=1), SybilFloodModel)
+
     def test_trust_gclr_requires_attack(self):
         with pytest.raises(ValueError, match="AttackSpec"):
             Scenario(
@@ -83,6 +123,47 @@ class TestRunScenario:
         assert result.metrics["num_colluders"] > 0
         assert result.metrics["rms_gclr"] >= 0.0
         assert result.metrics["rms_unweighted"] >= 0.0
+
+    def test_slander_under_churn_small(self):
+        result = run_scenario("slander-under-churn", small=True)
+        assert result.metrics["rms_gclr"] > 0.0
+        assert result.metrics["num_nodes_dirty"] == result.num_nodes
+        assert result.metrics["loss_probability"] == 0.2
+
+    def test_sybil_flood_small_enlarges_dirty_world(self):
+        result = run_scenario("sybil-flood-100k", small=True)
+        assert result.backend == "sparse"
+        # A 10% swarm joined the poisoned run only.
+        assert result.metrics["num_nodes_dirty"] == pytest.approx(
+            1.1 * result.num_nodes, rel=0.01
+        )
+        assert result.metrics["rms_gclr"] > 0.0
+
+    def test_oscillating_colluders_off_phase_cancels(self):
+        result = run_scenario("oscillating-colluders-sharded", small=True)
+        assert result.backend == "sharded"
+        assert result.metrics["rms_gclr"] > 0.0
+        # Honest phase under identical seeds: the poison vanishes.
+        assert result.metrics["rms_gclr_off"] == 0.0
+
+    def test_dynamic_scenario_carries_attack(self):
+        from repro.scenarios import DynamicSpec
+
+        scenario = Scenario(
+            name="test-whitewash-churn",
+            description="whitewashers cycling identities through churn epochs",
+            topology=TopologySpec(kind="powerlaw", num_nodes=120, small_num_nodes=120, m=2),
+            workload=WorkloadSpec(kind="mean"),
+            dynamic=DynamicSpec(epochs=3, join_rate=0.02, leave_rate=0.02),
+            attack=AttackSpec(kind="whitewashing", fraction=0.05),
+            backend="dense",
+            xi=1e-5,
+            max_steps=400,
+            seed=77,
+        )
+        result = run_scenario(scenario)
+        assert result.metrics["total_attack_events"] > 0
+        assert result.metrics["final_mean_abs_error"] < 0.05
 
     def test_free_riding_small_detects_free_riders(self):
         result = run_scenario("free-riding-500k", small=True)

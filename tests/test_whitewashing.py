@@ -45,6 +45,46 @@ class TestWhitewashing:
         WhitewashingModel(newcomer_trust=0.0).whitewash(t, 1)
         assert t.get(0, 1) <= before
 
+    def test_repeated_resets_with_benefit_of_doubt_are_stable(self):
+        # Bookkeeping audit: under repeated resets the observer set must
+        # stay exactly the original observers — the re-granted entries
+        # make those observers "former observers" again on the next
+        # reset, and nothing may compound or leak across resets.
+        t = TrustMatrix(5)
+        t.set(0, 2, 0.1)
+        t.set(3, 2, 0.9)
+        model = WhitewashingModel(newcomer_trust=0.4)
+        for round_number in range(1, 4):
+            model.whitewash(t, 2)
+            assert t.observers_of(2) == frozenset({0, 3})
+            assert t.get(0, 2) == 0.4 and t.get(3, 2) == 0.4
+            assert model.reset_counts[2] == round_number
+        assert model.total_resets() == 3
+
+    def test_repeated_resets_with_zero_policy_stay_empty(self):
+        # After the first zero-policy reset there are no observers left;
+        # later resets must keep counting without resurrecting entries.
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.3)
+        model = WhitewashingModel(newcomer_trust=0.0)
+        model.whitewash(t, 1)
+        model.whitewash(t, 1)
+        assert t.observers_of(1) == frozenset()
+        assert model.reset_counts[1] == 2
+
+    def test_benefit_of_doubt_never_manufactures_observer_rows(self):
+        # Node 3 never opined about node 1; the re-grant branch must not
+        # invent an entry (or a row) for it.
+        t = TrustMatrix(4)
+        t.set(0, 1, 0.2)
+        t.set(1, 0, 0.7)  # the washer's own outgoing opinion
+        WhitewashingModel(newcomer_trust=0.6).whitewash(t, 1)
+        assert t.observers_of(1) == frozenset({0})
+        assert not t.has(2, 1) and not t.has(3, 1)
+        assert t.row(2) == {} and t.row(3) == {}
+        # Outgoing knowledge survives the identity change.
+        assert t.get(1, 0) == 0.7
+
     def test_reset_counting(self):
         t = TrustMatrix(3)
         model = WhitewashingModel()
