@@ -6,8 +6,10 @@ Algorithm"*: the differential push gossip primitive, all four
 aggregation variants, the power-law network substrate, trust estimation,
 a composable adversary engine (collusion, whitewashing, slandering,
 on–off oscillation, sybil floods — :mod:`repro.attacks`), churn,
-comparison baselines and the full experiment harness that regenerates
-every table and figure of the paper's evaluation.
+comparison baselines, the full experiment harness that regenerates
+every table and figure of the paper's evaluation, and a long-running
+reputation service with streaming ingest and versioned snapshots
+(:mod:`repro.service` — see ``docs/service.md``).
 
 Quickstart
 ----------
@@ -55,6 +57,15 @@ from repro.network import (
     preferential_attachment_graph,
 )
 from repro.runtime import ChurnTrace, DynamicRunResult, run_dynamic
+from repro.service import (
+    BackpressureError,
+    ReportQueue,
+    ReputationService,
+    ReputationSnapshot,
+    ServiceLoop,
+    TrustReport,
+    replay_trace,
+)
 from repro.trust import ReputationTable, TrustMatrix, random_trust_matrix
 
 __version__ = "1.0.0"
@@ -93,5 +104,12 @@ __all__ = [
     "GossipOutcome",
     "ConvergenceError",
     "push_counts",
+    "BackpressureError",
+    "ReportQueue",
+    "ReputationService",
+    "ReputationSnapshot",
+    "ServiceLoop",
+    "TrustReport",
+    "replay_trace",
     "__version__",
 ]

@@ -207,6 +207,20 @@ def attack_impact(
     AttackImpact
         Eq.-18 errors for the weighted scheme and the unweighted
         comparator, plus the raw outcomes when gossip ran.
+
+    Examples
+    --------
+    >>> from repro import make_attack
+    >>> from repro.network.topology_example import example_network
+    >>> from repro.trust.matrix import complete_trust_matrix
+    >>> impact = attack_impact(
+    ...     example_network(), complete_trust_matrix(10, rng=1),
+    ...     make_attack("collusion", fraction=0.3, group_size=2, seed=2),
+    ...     use_gossip=False)  # exact eq.-6 fixpoint, no gossip round
+    >>> impact.num_nodes_dirty
+    10
+    >>> impact.rms_gclr >= 0.0
+    True
     """
     from repro.analysis.metrics import average_rms_error
     from repro.baselines.gossip_trust import unweighted_global_estimate

@@ -87,6 +87,14 @@ class AttackModel(ABC):
     - :meth:`on_epoch` — the dynamic hook
       :class:`~repro.runtime.dynamics.DynamicReputationRuntime` calls
       once per churn epoch (default: no-op).
+
+    Examples
+    --------
+    >>> model = make_attack("slandering", fraction=0.2, seed=7)
+    >>> model.name
+    'slandering'
+    >>> int(model.base_rng().integers(100)) == int(model.base_rng().integers(100))
+    True
     """
 
     #: Registry name of the family (subclasses override).
@@ -574,6 +582,12 @@ def register_attack(
     accepted — :func:`make_attack`, the scenario
     :class:`~repro.scenarios.spec.AttackSpec` axis and the attack
     benchmark sweep.
+
+    Examples
+    --------
+    >>> register_attack("demo-slander", SlanderingModel, overwrite=True)
+    >>> make_attack("demo-slander", fraction=0.1, seed=3).name
+    'slandering'
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"attack name must be a non-empty string, got {name!r}")
@@ -606,12 +620,24 @@ def get_attack(name: str) -> AttackFactory:
 
 
 def make_attack(name: str, **params) -> AttackModel:
-    """Build an attack model: ``make_attack("slandering", fraction=0.2)``."""
+    """Build an attack model from a registered family name (aliases resolve).
+
+    Examples
+    --------
+    >>> make_attack("bad-mouthing", fraction=0.25, seed=1).fraction
+    0.25
+    """
     return get_attack(name)(**params)
 
 
 def available_attacks() -> Tuple[str, ...]:
-    """Canonical names of all registered attack families, sorted."""
+    """Canonical names of all registered attack families, sorted.
+
+    Examples
+    --------
+    >>> {"collusion", "slandering", "sybil"} <= set(available_attacks())
+    True
+    """
     return tuple(sorted(_ATTACKS))
 
 

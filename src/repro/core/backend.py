@@ -138,6 +138,16 @@ class GossipConfig:
         *throughput* knob (any value yields byte-identical outcomes;
         ``1`` runs the shard schedule inline with no processes).
         ``None`` selects by graph size. Other backends ignore it.
+
+    Examples
+    --------
+    >>> config = GossipConfig(xi=1e-6, k=1, rng=7)
+    >>> config.xi, config.k
+    (1e-06, 1)
+    >>> GossipConfig(xi=-1.0)
+    Traceback (most recent call last):
+        ...
+    ValueError: xi must be positive, got -1.0
     """
 
     xi: float = 1e-4
@@ -465,6 +475,12 @@ def register_backend(
     selectable everywhere a backend name is accepted — the
     :func:`repro.aggregate` facade, the variant entry points, scenarios
     and benchmarks.
+
+    Examples
+    --------
+    >>> register_backend("demo", get_backend("dense"), overwrite=True)
+    >>> get_backend("demo") is get_backend("dense")
+    True
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"backend name must be a non-empty string, got {name!r}")
@@ -494,12 +510,24 @@ def resolve_backend_name(name: str) -> str:
 
 
 def get_backend(name: str) -> GossipBackend:
-    """Look up a registered backend by name or alias."""
+    """Look up a registered backend by name or alias.
+
+    Examples
+    --------
+    >>> get_backend("vector") is get_backend("dense")  # aliases resolve
+    True
+    """
     return _REGISTRY[resolve_backend_name(name)]
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Canonical names of all registered backends, sorted."""
+    """Canonical names of all registered backends, sorted.
+
+    Examples
+    --------
+    >>> {"message", "dense", "sparse", "sharded"} <= set(available_backends())
+    True
+    """
     return tuple(sorted(_REGISTRY))
 
 

@@ -181,6 +181,15 @@ class MessageLevelGossip:
         Optional churn model; a lost push is re-enqueued to the sender.
     rng:
         Seed / generator for target selection.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.network.topology_example import example_network
+    >>> engine = MessageLevelGossip(example_network(), rng=3)
+    >>> out = engine.run(np.arange(10.0), np.ones(10))
+    >>> bool(np.allclose(out.estimates, 4.5, atol=1e-3))  # mean of 0..9
+    True
     """
 
     def __init__(

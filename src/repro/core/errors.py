@@ -16,6 +16,12 @@ class ConvergenceError(GossipError):
         Steps executed before giving up.
     unconverged:
         Number of nodes that had not yet announced convergence.
+
+    Examples
+    --------
+    >>> error = ConvergenceError(steps=100, unconverged=3)
+    >>> error.steps, error.unconverged
+    (100, 3)
     """
 
     def __init__(self, steps: int, unconverged: int):

@@ -37,6 +37,18 @@ class GossipOutcome:
     ratio_history:
         Optional per-step snapshots of the ``(N, d)`` ratio array
         (present only when history tracking was requested).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> outcome = GossipOutcome(
+    ...     values=np.array([[4.0], [5.0]]), weights=np.array([[2.0], [2.0]]),
+    ...     extras={}, steps=3, push_messages=6,
+    ...     converged=np.array([True, True]))
+    >>> outcome.estimates.tolist()
+    [[2.0], [2.5]]
+    >>> outcome.num_nodes
+    2
     """
 
     values: np.ndarray

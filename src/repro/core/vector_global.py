@@ -111,6 +111,16 @@ def aggregate_vector_global(
         :func:`repro.core.backend.available_backends`.
     Other parameters as in
     :func:`repro.core.single_global.aggregate_single_global`.
+
+    Examples
+    --------
+    >>> from repro.network.topology_example import example_network
+    >>> from repro.trust.matrix import random_trust_matrix
+    >>> graph = example_network()
+    >>> trust = random_trust_matrix(graph, rng=1)
+    >>> result = aggregate_vector_global(graph, trust, targets=[0, 3], rng=2)
+    >>> result.estimates.shape
+    (10, 2)
     """
     if graph.num_nodes != trust.num_nodes:
         raise ValueError(

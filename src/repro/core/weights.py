@@ -46,6 +46,14 @@ class WeightParams:
         GCLR degenerates to the plain global average — eq. 5 -> eq. 1).
     b:
         Exponent gain, ``>= 0``.
+
+    Examples
+    --------
+    >>> params = WeightParams(a=16.0, b=2.0)
+    >>> params.weight(0.0), params.weight(1.0)
+    (1.0, 256.0)
+    >>> params.max_weight
+    256.0
     """
 
     a: float = DEFAULT_A

@@ -15,6 +15,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
+        epilog=(
+            "Docs: docs/architecture.md (module-to-paper-section map), "
+            "docs/benchmarks.md (BENCH_*.json artifact reference), "
+            "docs/service.md (the serving layer)."
+        ),
     )
     parser.add_argument(
         "experiment",

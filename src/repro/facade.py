@@ -195,6 +195,16 @@ def aggregate(
     GossipOutcome
         The engines' common result record: final values/weights/extras,
         steps, message counts, per-node convergence flags.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import GossipConfig, aggregate
+    >>> from repro.network.topology_example import example_network
+    >>> graph = example_network()
+    >>> out = aggregate(graph, np.linspace(0.0, 1.0, 10), GossipConfig(rng=1))
+    >>> bool(np.allclose(out.estimates, 0.5, atol=1e-3))  # the global mean
+    True
     """
     values, weights, variant_extras = _initial_state(
         graph,

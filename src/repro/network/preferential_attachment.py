@@ -45,6 +45,14 @@ def preferential_attachment_graph(
     rng:
         Seed / generator for reproducibility.
 
+    Examples
+    --------
+    >>> graph = preferential_attachment_graph(50, m=2, rng=7)
+    >>> graph.num_nodes
+    50
+    >>> graph.num_edges == preferential_attachment_graph(50, m=2, rng=7).num_edges
+    True
+
     Returns
     -------
     Graph

@@ -79,5 +79,11 @@ def example_network() -> Graph:
         Connected 10-node, 16-edge graph with degree sequence
         :data:`EXAMPLE_DEGREES` and differential push counts
         :data:`EXAMPLE_K_VALUES`.
+
+    Examples
+    --------
+    >>> graph = example_network()
+    >>> graph.num_nodes, graph.num_edges
+    (10, 16)
     """
     return Graph(10, _EXAMPLE_EDGES)

@@ -159,7 +159,20 @@ class EpochRecord:
 
 @dataclass
 class DynamicRunResult:
-    """Summary of a dynamic run: one :class:`EpochRecord` per epoch."""
+    """Summary of a dynamic run: one :class:`EpochRecord` per epoch.
+
+    Examples
+    --------
+    >>> from repro import ChurnTrace, GossipConfig, MutableOverlay, run_dynamic
+    >>> overlay = MutableOverlay.grow_preferential(60, m=2, rng=0)
+    >>> trace = ChurnTrace.steady(2, population=60, join_rate=0.02,
+    ...                           leave_rate=0.02, seed=1)
+    >>> result = run_dynamic(overlay, trace, GossipConfig(rng=2), backend="dense")
+    >>> len(result.records)
+    2
+    >>> result.total_steps >= result.records[0].steps
+    True
+    """
 
     backend: str
     warm_start: bool
@@ -340,6 +353,10 @@ class DynamicReputationRuntime:
         self._attack = attack
         # Departures caused by the attack hook this epoch (bridge gate).
         self._attack_removed_peers = 0
+        # Replay root + epoch counter, bound by initialize(); every
+        # epoch's streams derive statelessly from (root, epoch index).
+        self._root: Optional[np.random.SeedSequence] = None
+        self._next_epoch = 0
         # Per-peer state indexed by peer id (grown on demand): published
         # opinion, gossip value, gossip weight.
         self._x = np.zeros(0, dtype=np.float64)
@@ -386,17 +403,70 @@ class DynamicReputationRuntime:
 
     # -- epoch execution -----------------------------------------------------
 
+    def initialize(
+        self,
+        seed: "int | np.random.SeedSequence",
+        *,
+        opinions: "float | np.ndarray | None" = None,
+    ) -> None:
+        """Bind the replay root and seed per-peer state; epochs restart at 0.
+
+        This is the external-driver entry point (the reputation service
+        of :mod:`repro.service` calls it instead of :meth:`run`):
+        ``seed`` fixes every replay stream, and ``opinions`` optionally
+        overrides the random initial opinions — a scalar broadcasts
+        (``0.0`` is the paper's zero-initial-trust world before any
+        report arrived), an array must match ``overlay.peer_ids()``
+        order. Gossip pairs start at ``(x, 1)`` either way.
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        self._root = root
+        self._next_epoch = 0
+        if opinions is None:
+            self._seed_initial_opinions(
+                np.random.default_rng(stateless_child_sequence(root, EPOCH_STREAM_KEY - 1))
+            )
+            return
+        pids = self._overlay.peer_ids()
+        self._grow_state()
+        values = np.broadcast_to(
+            np.asarray(opinions, dtype=np.float64), pids.shape
+        ).copy()
+        self._x[pids] = values
+        self._v[pids] = values
+        self._w[pids] = 1.0
+
+    def step(self, *, arrivals: int = 0, departures: int = 0) -> EpochRecord:
+        """Advance one epoch (churn → attack hook → gossip round).
+
+        The externally-driven sibling of :meth:`run`'s loop body: callers
+        that feed their own deltas — :meth:`republish_opinion` between
+        steps, e.g. the report fold of
+        :class:`repro.service.ReputationService` — advance the runtime
+        one warm-start epoch at a time. Requires :meth:`initialize`
+        first; epoch streams stay replayable because each derives
+        statelessly from ``(seed, epoch index)``.
+        """
+        if self._root is None:
+            raise RuntimeError("call initialize(seed) before step()")
+        epoch = self._next_epoch
+        child = stateless_child_sequence(self._root, EPOCH_STREAM_KEY + epoch)
+        record = self._run_epoch(epoch, arrivals, departures, child)
+        self._next_epoch += 1
+        return record
+
     def run(self, trace: ChurnTrace) -> DynamicRunResult:
         """Replay ``trace`` epoch by epoch; return the per-epoch records."""
-        root = np.random.SeedSequence(trace.seed)
-        self._seed_initial_opinions(
-            np.random.default_rng(stateless_child_sequence(root, EPOCH_STREAM_KEY - 1))
-        )
+        self.initialize(trace.seed)
         result = DynamicRunResult(backend=self._backend, warm_start=self._warm_start)
-        for epoch, churn in enumerate(trace):
-            child = stateless_child_sequence(root, EPOCH_STREAM_KEY + epoch)
-            record = self._run_epoch(epoch, churn.arrivals, churn.departures, child)
-            result.records.append(record)
+        for churn in trace:
+            result.records.append(
+                self.step(arrivals=churn.arrivals, departures=churn.departures)
+            )
         return result
 
     def _run_epoch(

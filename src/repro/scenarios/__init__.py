@@ -2,9 +2,12 @@
 
 Scenarios are data (:class:`~repro.scenarios.spec.Scenario`), executed
 through the :func:`repro.aggregate` facade so every registered gossip
-backend can carry every workload. Four scenarios ship seeded
-(``static-powerlaw``, ``churn-heavy``, ``collusion-under-churn``,
-``free-riding-500k``); register more with
+backend can carry every workload; dynamic scenarios drive the epoch
+runtime of :mod:`repro.runtime` and ``service-soak`` drives the serving
+layer of :mod:`repro.service`. The seeded catalogue lives in
+:mod:`repro.scenarios.library` (see
+:func:`~repro.scenarios.spec.available_scenarios` or
+``python -m repro.scenarios list``); register more with
 :func:`~repro.scenarios.spec.register_scenario`.
 
 Run from the command line::
@@ -20,6 +23,7 @@ from repro.scenarios.spec import (
     DynamicSpec,
     Scenario,
     ScenarioResult,
+    ServiceSpec,
     TopologySpec,
     WorkloadSpec,
     available_scenarios,
@@ -35,6 +39,7 @@ __all__ = [
     "DynamicSpec",
     "Scenario",
     "ScenarioResult",
+    "ServiceSpec",
     "TopologySpec",
     "WorkloadSpec",
     "available_scenarios",

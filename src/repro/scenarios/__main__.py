@@ -10,15 +10,21 @@ from repro.scenarios import available_scenarios, get_scenario, run_scenario
 
 def main(argv=None) -> int:
     """Run or list scenarios; print each result block."""
+    epilog = (
+        "Docs: docs/architecture.md (layer map + the scenario catalogue), "
+        "docs/service.md (the service-soak serving layer), "
+        "docs/benchmarks.md (artifact reference)."
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
         description="Run composable gossip scenarios (topology x workload x churn x attack x backend).",
+        epilog=epilog,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered scenarios")
+    sub.add_parser("list", help="list registered scenarios", epilog=epilog)
 
-    run_parser = sub.add_parser("run", help="run one scenario (or 'all')")
+    run_parser = sub.add_parser("run", help="run one scenario (or 'all')", epilog=epilog)
     run_parser.add_argument("name", help="scenario name (see 'list'), or 'all'")
     run_parser.add_argument(
         "--small",

@@ -1,11 +1,13 @@
 """The seeded scenario catalogue.
 
-Ten scenarios ship with the repro, spanning the design space the
+Eleven scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
-churn × attack × dynamics × backend), so new scenarios are a
+churn × attack × dynamics × service × backend), so new scenarios are a
 registration call away — no new plumbing. The two dynamic scenarios
 (``flash-crowd``, ``steady-churn-100k``) run the epoch runtime of
-:mod:`repro.runtime` instead of a single static round,
+:mod:`repro.runtime` instead of a single static round, ``service-soak``
+streams a seeded report workload through the serving layer of
+:mod:`repro.service` (bounded ingest, snapshot swaps, backpressure),
 ``million-peer-sharded`` exercises the multi-process sharded backend
 at the scale it exists for, and three adversary scenarios
 (``slander-under-churn``, ``sybil-flood-100k``,
@@ -20,6 +22,7 @@ from repro.scenarios.spec import (
     ChurnSpec,
     DynamicSpec,
     Scenario,
+    ServiceSpec,
     TopologySpec,
     WorkloadSpec,
     register_scenario,
@@ -205,6 +208,32 @@ OSCILLATING_COLLUDERS_SHARDED = register_scenario(
         xi=1e-3,
         max_steps=50_000,
         seed=420,
+    )
+)
+
+SERVICE_SOAK = register_scenario(
+    Scenario(
+        name="service-soak",
+        description=(
+            "Serving-layer soak: a seeded report stream is pushed through the "
+            "reputation service's bounded ingest queue in chunks (watermark "
+            "shedding included); every tick folds a batch, runs one warm-start "
+            "epoch and swaps an immutable snapshot — measured for ingest "
+            "throughput, staleness, and lock-free query rate."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=2000, small_num_nodes=150, m=2),
+        workload=WorkloadSpec(kind="mean"),
+        service=ServiceSpec(
+            num_reports=20_000,
+            small_num_reports=1_200,
+            batch_size=512,
+            high_watermark=768,  # < stream size at both scales: shedding is exercised
+            submit_chunk=256,
+        ),
+        backend="auto",
+        xi=1e-4,
+        max_steps=400,
+        seed=421,
     )
 )
 

@@ -292,6 +292,41 @@ class DynamicSpec:
 
 
 @dataclass(frozen=True)
+class ServiceSpec:
+    """Streaming soak of the serving layer (:mod:`repro.service`).
+
+    Setting this on a scenario switches execution to a
+    :class:`repro.service.service.ReputationService` soak: a seeded
+    synthetic report stream is submitted in chunks against a bounded
+    ingest queue (watermark shedding included), the service folds
+    batches and advances warm-start epochs tick by tick, and the run
+    reports ingest throughput, staleness, and lock-free query rate.
+    """
+
+    num_reports: int = 20_000
+    small_num_reports: int = 1_500
+    batch_size: int = 512
+    high_watermark: int = 2_048
+    submit_chunk: int = 256
+    noise: float = 0.1
+    query_samples: int = 2_000
+
+    def __post_init__(self) -> None:
+        for name in ("num_reports", "small_num_reports", "query_samples"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        for name in ("batch_size", "high_watermark", "submit_chunk"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.noise < 0:
+            raise ValueError(f"noise must be >= 0, got {self.noise}")
+
+    def size(self, small: bool) -> int:
+        """Report count at the requested scale."""
+        return self.small_num_reports if small else self.num_reports
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One named point in topology × workload × churn × attack × backend."""
 
@@ -302,6 +337,7 @@ class Scenario:
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     attack: Optional[AttackSpec] = None
     dynamic: Optional[DynamicSpec] = None
+    service: Optional["ServiceSpec"] = None
     backend: str = "auto"
     xi: float = 1e-5
     max_steps: int = 20_000
@@ -319,6 +355,17 @@ class Scenario:
                 "dynamic scenarios run the 'mean' workload (per-peer reputation scores); "
                 f"got {self.workload.kind!r}"
             )
+        if self.service is not None:
+            if self.dynamic is not None:
+                raise ValueError(
+                    "service scenarios drive their own epoch loop; 'dynamic' and "
+                    "'service' are mutually exclusive"
+                )
+            if self.workload.kind != "mean":
+                raise ValueError(
+                    "service scenarios fold trust reports into per-peer reputations "
+                    f"(the 'mean' workload); got {self.workload.kind!r}"
+                )
 
 
 @dataclass
@@ -430,6 +477,11 @@ def run_scenario(
         # towards run_to_max-capable engines for the accuracy stop rule.
         return _run_dynamic(scenario, graph, config, backend_name, root, small=small)
 
+    if scenario.service is not None:
+        # The service resolves the name the same way (it embeds the
+        # dynamic runtime for its per-tick epochs).
+        return _run_service(scenario, graph, config, backend_name, root, small=small)
+
     resolved = (
         choose_backend_name(graph)
         if backend_name == "auto"
@@ -525,6 +577,89 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         steps=result.total_steps,
         push_messages=result.total_push_messages,
         converged_fraction=final.converged_fraction,
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+        notes=notes,
+    )
+
+
+def _run_service(scenario, graph, config, backend, root, *, small):
+    """Streaming service soak: ingest → fold → epoch → snapshot, measured."""
+    from repro.network.mutable import MutableOverlay
+    from repro.service.reports import generate_reports
+    from repro.service.service import ReputationService
+
+    spec = scenario.service
+    num_reports = spec.size(small)
+    reports = generate_reports(
+        num_reports,
+        graph.num_nodes,
+        rng=as_generator(int(root.integers(2**62))),
+        noise=spec.noise,
+    )
+    service = ReputationService(
+        MutableOverlay.from_graph(graph),
+        config=config,
+        backend=backend,
+        seed=int(root.integers(2**62)),
+        high_watermark=spec.high_watermark,
+        batch_size=spec.batch_size,
+    )
+
+    start = time.perf_counter()
+    ticks = []
+    shed_events = 0
+    cursor = 0
+    while cursor < len(reports):
+        chunk = reports[cursor : cursor + spec.submit_chunk]
+        accepted = service.submit_batch(chunk)
+        cursor += accepted
+        if accepted < len(chunk):
+            # Watermark shed: fold a batch, then resubmit the remainder —
+            # the deterministic single-driver version of "retry after the
+            # service loop drains".
+            shed_events += 1
+            ticks.append(service.tick())
+    ticks.extend(service.drain_pending())
+    ingest_elapsed = time.perf_counter() - start
+
+    # Lock-free query path, measured against the final snapshot.
+    pids = service.overlay.peer_ids()
+    query_start = time.perf_counter()
+    for i in range(spec.query_samples):
+        service.get_reputation(int(pids[i % len(pids)]))
+    query_elapsed = time.perf_counter() - query_start
+
+    snapshot = service.snapshot()
+    elapsed = time.perf_counter() - start
+    staleness = [t.staleness for t in ticks]
+    metrics = {
+        "reports_folded": float(snapshot.reports_folded),
+        "ticks": float(len(ticks)),
+        "final_version": float(snapshot.version),
+        "ingest_reports_per_second": num_reports / ingest_elapsed if ingest_elapsed else 0.0,
+        "query_per_second": spec.query_samples / query_elapsed if query_elapsed else 0.0,
+        "max_staleness": float(max(staleness, default=0)),
+        "mean_staleness": float(np.mean(staleness)) if staleness else 0.0,
+        "shed_events": float(shed_events),
+        "queue_rejected_total": float(service.queue.rejected_total),
+        "network_estimate": snapshot.network_estimate,
+    }
+    notes = [
+        f"soak: {num_reports} reports in chunks of {spec.submit_chunk}, "
+        f"batch={spec.batch_size}, watermark={spec.high_watermark}",
+        "every shed chunk was retried after a tick; final fold is batch-order independent",
+    ]
+    last = ticks[-1]
+    return ScenarioResult(
+        name=scenario.name,
+        backend=service.backend,
+        small=small,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        steps=sum(t.epoch_steps for t in ticks),
+        push_messages=sum(t.push_messages for t in ticks),
+        converged_fraction=last.converged_fraction,
         metrics=metrics,
         elapsed_seconds=elapsed,
         notes=notes,

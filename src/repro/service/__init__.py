@@ -1,0 +1,49 @@
+"""Reputation-as-a-service: streaming ingest, versioned snapshots, replay.
+
+The serving layer over the gossip library. Reports stream into a bounded
+:class:`ReportQueue`; a single consumer (:class:`ServiceLoop` or a
+replay driver) folds batches into the trust matrix, advances one
+warm-start gossip epoch per tick, and atomically publishes an immutable
+:class:`ReputationSnapshot` that queries read lock-free. Three surfaces:
+
+- in-process: :class:`ReputationService` (``submit_report`` /
+  ``submit_batch`` / ``get_reputation`` / ``top_k`` / ``snapshot_info``),
+- HTTP: ``python -m repro.service serve`` (stdlib ``http.server``),
+- replay: ``python -m repro.service replay trace.jsonl`` — byte-identical
+  output for a fixed ``(seed, report stream)``, at any ingest batch size.
+
+See ``docs/service.md`` for the API reference and operational notes.
+"""
+
+from repro.service.queue import BackpressureError, ReportQueue, ServiceError
+from repro.service.replay import canonical_json, replay_trace
+from repro.service.reports import (
+    TrustReport,
+    generate_reports,
+    read_trace,
+    write_trace,
+)
+from repro.service.service import (
+    ReputationService,
+    ServiceLoop,
+    TickRecord,
+    UnknownPeerError,
+)
+from repro.service.snapshot import ReputationSnapshot
+
+__all__ = [
+    "BackpressureError",
+    "ReportQueue",
+    "ReputationService",
+    "ReputationSnapshot",
+    "ServiceError",
+    "ServiceLoop",
+    "TickRecord",
+    "TrustReport",
+    "UnknownPeerError",
+    "canonical_json",
+    "generate_reports",
+    "read_trace",
+    "replay_trace",
+    "write_trace",
+]

@@ -1,0 +1,131 @@
+"""Command line for the reputation service.
+
+``python -m repro.service serve``      — run the HTTP service
+``python -m repro.service replay``     — deterministic trace replay
+``python -m repro.service make-trace`` — write a seeded synthetic trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.backend import available_backends
+from repro.service.replay import canonical_json, replay_trace
+from repro.service.reports import generate_reports, write_trace
+
+_EPILOG = (
+    "Docs: docs/service.md (API + ops notes on staleness, backpressure and "
+    "replay), docs/architecture.md (layer map), docs/benchmarks.md "
+    "(artifact reference)."
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Reputation-as-a-service runtime over the gossip backends.",
+        epilog=_EPILOG,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP service", epilog=_EPILOG
+    )
+    serve.add_argument("--peers", type=int, default=500, help="overlay size (default 500)")
+    serve.add_argument("--seed", type=int, default=0, help="replay root (default 0)")
+    serve.add_argument(
+        "--backend",
+        default="auto",
+        help=f"gossip backend: auto or one of {', '.join(available_backends())}",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (default 8080)")
+    serve.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        help="seconds between service ticks (default 0.25; lower = fresher, costlier)",
+    )
+    serve.add_argument(
+        "--high-watermark",
+        type=int,
+        default=50_000,
+        help="ingest queue shed threshold (default 50000)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1024, help="reports folded per tick (default 1024)"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a JSON-lines trace; print the canonical record",
+        epilog=_EPILOG,
+    )
+    replay.add_argument("trace", help="JSON-lines trace file (see make-trace)")
+    replay.add_argument("--peers", type=int, default=None,
+                        help="overlay size (default: max referenced id + 1)")
+    replay.add_argument("--seed", type=int, default=7, help="replay root (default 7)")
+    replay.add_argument("--batch-size", type=int, default=256,
+                        help="ingest batch per tick — must NOT change the output (default 256)")
+    replay.add_argument("--backend", default="auto", help="gossip backend (default auto)")
+    replay.add_argument("--top", type=int, default=10, help="leaders to list (default 10)")
+    replay.add_argument(
+        "--verbose",
+        action="store_true",
+        help="attach the batching-dependent 'run' section (breaks byte-identity)",
+    )
+
+    make = sub.add_parser(
+        "make-trace",
+        help="write a seeded synthetic report trace",
+        epilog=_EPILOG,
+    )
+    make.add_argument("path", help="output trace file (JSON lines)")
+    make.add_argument("--reports", type=int, default=1000, help="report count (default 1000)")
+    make.add_argument("--peers", type=int, default=100, help="identity space (default 100)")
+    make.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    make.add_argument("--noise", type=float, default=0.1,
+                      help="report noise stddev (default 0.1)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        from repro.service.httpd import serve_forever
+        from repro.service.service import ReputationService
+
+        service = ReputationService(
+            args.peers,
+            backend=args.backend,
+            seed=args.seed,
+            high_watermark=args.high_watermark,
+            batch_size=args.batch_size,
+        )
+        serve_forever(service, host=args.host, port=args.port, interval=args.interval)
+        return 0
+    if args.command == "replay":
+        record = replay_trace(
+            args.trace,
+            num_peers=args.peers,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            backend=args.backend,
+            top=args.top,
+            include_run=args.verbose,
+        )
+        sys.stdout.write(canonical_json(record))
+        return 0
+    if args.command == "make-trace":
+        reports = generate_reports(
+            args.reports, args.peers, rng=args.seed, noise=args.noise
+        )
+        count = write_trace(args.path, reports)
+        print(f"wrote {count} reports over {args.peers} peers to {args.path}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Bounded, thread-safe ingest queue with high-watermark backpressure.
+
+The service's write path: producers (HTTP handlers, the soak scenario,
+the replay driver) :meth:`ReportQueue.put` reports, the
+:class:`repro.service.service.ServiceLoop` drains them in batches. The
+queue is *bounded* and sheds load explicitly — once the pending count
+reaches the high watermark, every further ``put`` raises the typed
+:class:`BackpressureError` until a drain brings the backlog back under
+the mark. Shedding at ingest (rather than blocking the fold or growing
+without bound) keeps the staleness bound of every published snapshot
+honest: a report is either accepted — and counted against the next
+snapshot's staleness — or visibly rejected, never silently delayed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Iterable, List
+
+from repro.core.errors import GossipError
+
+from repro.service.reports import TrustReport
+
+
+class ServiceError(GossipError):
+    """Base class for reputation-service failures."""
+
+
+class BackpressureError(ServiceError):
+    """The ingest queue hit its high watermark and sheds this report.
+
+    Attributes
+    ----------
+    pending:
+        Reports queued (accepted, not yet drained) at rejection time.
+    high_watermark:
+        The configured shed threshold.
+
+    Examples
+    --------
+    >>> error = BackpressureError(pending=8, high_watermark=8)
+    >>> error.pending, error.high_watermark
+    (8, 8)
+    """
+
+    def __init__(self, pending: int, high_watermark: int):
+        self.pending = pending
+        self.high_watermark = high_watermark
+        super().__init__(
+            f"ingest queue at high watermark ({pending}/{high_watermark} pending); "
+            "report shed — retry after the service loop drains"
+        )
+
+
+class ReportQueue:
+    """Thread-safe bounded FIFO of :class:`TrustReport` with load shedding.
+
+    Parameters
+    ----------
+    high_watermark:
+        Pending-report threshold at which :meth:`put` starts raising
+        :class:`BackpressureError`. Draining below the mark resumes
+        acceptance immediately (no hysteresis: the bound is exact, so
+        ``pending <= high_watermark`` always holds).
+
+    Examples
+    --------
+    >>> queue = ReportQueue(high_watermark=2)
+    >>> queue.put(TrustReport(0, 1, 0.9))
+    >>> queue.put(TrustReport(1, 0, 0.4))
+    >>> queue.put(TrustReport(0, 2, 0.5))
+    Traceback (most recent call last):
+        ...
+    repro.service.queue.BackpressureError: ingest queue at high watermark (2/2 pending); report shed — retry after the service loop drains
+    >>> [r.target for r in queue.drain(8)], queue.pending, queue.rejected_total
+    ([1, 0], 0, 1)
+    """
+
+    def __init__(self, high_watermark: int = 50_000):
+        if high_watermark < 1:
+            raise ValueError(f"high_watermark must be >= 1, got {high_watermark}")
+        self._high_watermark = int(high_watermark)
+        self._items: Deque[TrustReport] = deque()
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self._rejected = 0
+        self._drained = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, report: TrustReport) -> None:
+        """Enqueue one report, or shed it with :class:`BackpressureError`."""
+        with self._lock:
+            if len(self._items) >= self._high_watermark:
+                self._rejected += 1
+                raise BackpressureError(len(self._items), self._high_watermark)
+            self._items.append(report)
+            self._accepted += 1
+
+    def put_many(self, reports: Iterable[TrustReport]) -> int:
+        """Enqueue reports until the watermark sheds the rest; return accepted count.
+
+        The batch ingest path (HTTP ``POST /reports``, the soak
+        scenario): acceptance is prefix-greedy — reports are taken in
+        order until the first shed, and everything after it in the same
+        batch is shed too (counted in :attr:`rejected_total`), so an
+        accepted batch is always a prefix of the submitted one.
+        """
+        batch = list(reports)
+        with self._lock:
+            room = self._high_watermark - len(self._items)
+            accepted = max(0, min(room, len(batch)))
+            self._items.extend(batch[:accepted])
+            self._accepted += accepted
+            self._rejected += len(batch) - accepted
+            return accepted
+
+    # -- consumer side -------------------------------------------------------
+
+    def drain(self, max_batch: int) -> List[TrustReport]:
+        """Dequeue up to ``max_batch`` reports in arrival order."""
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        with self._lock:
+            take = min(max_batch, len(self._items))
+            batch = [self._items.popleft() for _ in range(take)]
+            self._drained += take
+            return batch
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def high_watermark(self) -> int:
+        """Configured shed threshold."""
+        return self._high_watermark
+
+    @property
+    def pending(self) -> int:
+        """Reports accepted but not yet drained."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def accepted_total(self) -> int:
+        """Reports ever accepted."""
+        with self._lock:
+            return self._accepted
+
+    @property
+    def rejected_total(self) -> int:
+        """Reports ever shed at the watermark."""
+        with self._lock:
+            return self._rejected
+
+    @property
+    def drained_total(self) -> int:
+        """Reports ever handed to the fold."""
+        with self._lock:
+            return self._drained
+
+    def __len__(self) -> int:
+        return self.pending
+
+    def stats(self) -> dict:
+        """One consistent snapshot of all counters."""
+        with self._lock:
+            return {
+                "pending": len(self._items),
+                "high_watermark": self._high_watermark,
+                "accepted_total": self._accepted,
+                "rejected_total": self._rejected,
+                "drained_total": self._drained,
+            }

@@ -1,0 +1,195 @@
+"""Deterministic replay: a report trace in, a canonical digest out.
+
+``python -m repro.service replay trace.jsonl`` rebuilds a service from a
+seed, feeds the trace through the real ingest queue/fold/epoch path, and
+prints a **canonical record** that is byte-identical
+
+- across runs (every stream derives from the seed), and
+- across ingest batch sizes (the record covers only quantities that are
+  pure functions of ``(seed, report stream)``).
+
+What makes batch-size independence possible: the fold is pure state
+application on the :class:`~repro.trust.matrix.TrustMatrix` (the final
+matrix — and therefore every published column aggregate — depends on the
+stream order alone, not on how ticks partitioned it), and the closing
+verification round draws from a stream keyed by ``(seed, total reports
+folded)`` rather than by tick count. Per-tick trajectories (how many
+gossip steps each intermediate warm epoch took) *do* depend on the
+batching — they are reported separately in the non-canonical ``run``
+section, which byte-identity checks must exclude (the CLI omits it
+unless ``--verbose``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.backend import GossipConfig, run_backend
+from repro.service.queue import BackpressureError
+from repro.service.reports import TrustReport, read_trace
+from repro.service.service import ReputationService
+from repro.utils.rng import stateless_child_sequence
+
+#: Base child key of the closing verification round's stream; the total
+#: folded-report count is added so the key is a pure function of the
+#: stream content, never of tick/batch structure.
+VERIFY_STREAM_KEY = 0x5E21CE02
+
+
+def replay_trace(
+    trace: Union[str, Path, Sequence[TrustReport]],
+    *,
+    num_peers: Optional[int] = None,
+    seed: int = 7,
+    batch_size: int = 256,
+    backend: str = "auto",
+    high_watermark: Optional[int] = None,
+    config: Optional[GossipConfig] = None,
+    attachment_m: int = 2,
+    top: int = 10,
+    include_run: bool = False,
+) -> Dict:
+    """Replay a report trace through the service; return the canonical record.
+
+    Parameters
+    ----------
+    trace:
+        Path to a JSON-lines trace file, or an in-memory report list.
+    num_peers:
+        Overlay size; defaults to ``max referenced peer id + 1``.
+    seed:
+        The replay root (topology, epoch streams, verification round).
+    batch_size:
+        Ingest batch per tick — changing it must not change the record.
+    backend:
+        Gossip backend for the per-tick epochs and verification round.
+    high_watermark:
+        Queue watermark; defaults to ``2 * batch_size`` so the replay
+        driver exercises real backpressure (it ticks to drain whenever
+        a submit is shed — deterministic, single-threaded).
+    config:
+        Epoch gossip knobs; streams still derive from ``seed``.
+    attachment_m:
+        Preferential-attachment degree of the grown overlay.
+    top:
+        How many leaders to list in the record.
+    include_run:
+        Attach the batching-dependent ``run`` section (tick count,
+        per-tick epoch steps, max staleness). NOT byte-identical across
+        batch sizes — byte-identity checks must leave this off.
+
+    Examples
+    --------
+    >>> from repro.service.reports import generate_reports
+    >>> reports = generate_reports(60, 16, rng=3)
+    >>> small = replay_trace(reports, seed=9, batch_size=16)
+    >>> small == replay_trace(reports, seed=9, batch_size=5)
+    True
+    >>> small["reports"]["folded"]
+    60
+    """
+    reports = list(read_trace(trace)) if isinstance(trace, (str, Path)) else list(trace)
+    if num_peers is None:
+        highest = max((max(r.observer, r.target) for r in reports), default=1)
+        num_peers = highest + 1
+    if num_peers < 2:
+        raise ValueError(f"num_peers must be >= 2, got {num_peers}")
+    service = ReputationService(
+        num_peers,
+        config=config,
+        backend=backend,
+        seed=seed,
+        batch_size=batch_size,
+        high_watermark=high_watermark if high_watermark is not None else 2 * batch_size,
+        attachment_m=attachment_m,
+    )
+
+    tick_records = []
+    for report in reports:
+        while True:
+            try:
+                service.submit_report(report.observer, report.target, report.value)
+                break
+            except BackpressureError:
+                # Deterministic shed handling: fold a batch, then retry.
+                tick_records.append(service.tick())
+    tick_records.extend(service.drain_pending())
+
+    snapshot = service.snapshot()
+    graph, _ = service.overlay.snapshot()
+    opinions = np.asarray(snapshot.reputations, dtype=np.float64)
+
+    # Closing verification round: cold gossip of the final published
+    # opinions, keyed by (seed, reports folded) — a pure function of the
+    # stream, so it is identical for every batching and genuinely
+    # exercises the configured backend end to end.
+    verify_config = GossipConfig(
+        xi=(config.xi if config is not None else 1e-5),
+        max_steps=(config.max_steps if config is not None else 10_000),
+        rng=stateless_child_sequence(
+            np.random.SeedSequence(seed), VERIFY_STREAM_KEY + len(reports)
+        ),
+    )
+    values = opinions.reshape(-1, 1).copy()
+    outcome = run_backend(
+        graph, values, np.ones_like(values), config=verify_config, backend=service.backend
+    )
+    estimates = outcome.values[:, 0] / outcome.weights[:, 0]
+    truth = float(opinions.mean())
+
+    record = {
+        "replay": {
+            "seed": seed,
+            "num_peers": int(graph.num_nodes),
+            "num_edges": int(graph.num_edges),
+            "backend": service.backend,
+            "attachment_m": attachment_m,
+        },
+        "reports": {
+            "total": len(reports),
+            "folded": snapshot.reports_folded,
+            "rejected_final": 0,  # every shed report was retried until accepted
+        },
+        "snapshot": {
+            "digest": snapshot.digest(),
+            "reports_folded": snapshot.reports_folded,
+            "staleness": snapshot.staleness,
+            "num_peers": snapshot.num_peers,
+        },
+        "top": [[pid, value] for pid, value in snapshot.top_k(min(top, num_peers))],
+        "verify": {
+            "estimates_sha256": hashlib.sha256(
+                np.ascontiguousarray(estimates).tobytes()
+            ).hexdigest(),
+            "true_mean": truth,
+            "max_abs_error": float(np.abs(estimates - truth).max()),
+            "converged_fraction": float(np.mean(outcome.converged)),
+        },
+    }
+    if include_run:
+        record["run"] = {
+            "batch_size": batch_size,
+            "ticks": len(tick_records),
+            "final_version": snapshot.version,
+            "epoch_steps": [r.epoch_steps for r in tick_records],
+            "max_staleness": max((r.staleness for r in tick_records), default=0),
+        }
+    return record
+
+
+def canonical_json(record: Dict) -> str:
+    """Render a replay record in the canonical byte-stable form.
+
+    ``sort_keys`` + fixed indentation + trailing newline: two records that
+    compare equal serialize to identical bytes, which is what the replay
+    golden test and the CI smoke leg diff.
+    """
+    return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = ["replay_trace", "canonical_json", "VERIFY_STREAM_KEY"]

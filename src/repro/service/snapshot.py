@@ -1,0 +1,145 @@
+"""Immutable, versioned reputation snapshots — the lock-free read path.
+
+The service answers every query from a :class:`ReputationSnapshot`
+published by the fold loop. Snapshots are *immutable* (frozen dataclass,
+numpy arrays with the write flag cleared) and *versioned* (``version``
+increments by exactly 1 per swap), and the service swaps them in with a
+single reference assignment — atomic under the interpreter, so readers
+never take a lock and never observe a half-built state: a query sees
+either the previous complete snapshot or the next complete one.
+
+Every snapshot also carries its own **staleness bound**: the number of
+reports that were accepted by the ingest queue but not yet folded when
+the snapshot was published. A reader therefore knows exactly how far
+behind the write stream its answer can be — the ops contract
+``docs/service.md`` documents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReputationSnapshot:
+    """One immutable, versioned view of every peer's reputation.
+
+    Attributes
+    ----------
+    version:
+        Monotonic swap counter (the initial empty snapshot is 0).
+    epoch:
+        Gossip epochs the runtime has completed when this was published.
+    created_at:
+        Service tick that published the snapshot (0 = construction).
+    peer_ids:
+        Live peer ids, ascending (read-only array).
+    reputations:
+        ``reputations[i]`` is peer ``peer_ids[i]``'s served reputation —
+        the eq.-1 column aggregate of every folded report (read-only).
+    network_estimate:
+        The gossip layer's network-wide mean-reputation estimate
+        (the warm-start runtime's fixpoint after this epoch).
+    staleness:
+        Reports accepted but not yet folded at publication — the
+        snapshot's data-freshness bound.
+    reports_folded:
+        Total reports folded into this snapshot since service start.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> snap = ReputationSnapshot(version=1, epoch=1, created_at=1,
+    ...                           peer_ids=np.array([0, 1, 4]),
+    ...                           reputations=np.array([0.2, 0.9, 0.5]),
+    ...                           network_estimate=0.53, staleness=0, reports_folded=12)
+    >>> snap.get(1)
+    0.9
+    >>> snap.get(3)  # never reported -> the paper's zero initial trust
+    0.0
+    >>> snap.top_k(2)
+    [(1, 0.9), (4, 0.5)]
+    """
+
+    version: int
+    epoch: int
+    created_at: int
+    peer_ids: np.ndarray = field(repr=False)
+    reputations: np.ndarray = field(repr=False)
+    network_estimate: float
+    staleness: int
+    reports_folded: int
+
+    def __post_init__(self) -> None:
+        pids = np.asarray(self.peer_ids, dtype=np.int64)
+        reps = np.asarray(self.reputations, dtype=np.float64)
+        if pids.shape != reps.shape:
+            raise ValueError(
+                f"peer_ids {pids.shape} and reputations {reps.shape} must align"
+            )
+        if pids.size and np.any(np.diff(pids) <= 0):
+            raise ValueError("peer_ids must be strictly ascending")
+        if self.version < 0 or self.staleness < 0 or self.reports_folded < 0:
+            raise ValueError("version/staleness/reports_folded must be >= 0")
+        # Freeze: queries run lock-free on these arrays, so nothing may
+        # mutate them after publication. object.__setattr__ because the
+        # dataclass itself is frozen.
+        pids = pids.copy()
+        reps = reps.copy()
+        pids.setflags(write=False)
+        reps.setflags(write=False)
+        object.__setattr__(self, "peer_ids", pids)
+        object.__setattr__(self, "reputations", reps)
+
+    @property
+    def num_peers(self) -> int:
+        """Peers covered by this snapshot."""
+        return int(self.peer_ids.shape[0])
+
+    def get(self, peer_id: int, default: float = 0.0) -> float:
+        """Reputation of ``peer_id``; ``default`` (zero trust) if unknown."""
+        index = int(np.searchsorted(self.peer_ids, peer_id))
+        if index >= self.peer_ids.shape[0] or int(self.peer_ids[index]) != peer_id:
+            return float(default)
+        return float(self.reputations[index])
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` highest-reputation peers as ``(peer_id, reputation)``.
+
+        Deterministic: ties break towards the smaller peer id.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        k = min(k, self.num_peers)
+        # Sort by (-reputation, peer_id): lexsort's last key is primary.
+        order = np.lexsort((self.peer_ids, -self.reputations))[:k]
+        return [(int(self.peer_ids[i]), float(self.reputations[i])) for i in order]
+
+    def digest(self) -> str:
+        """SHA-256 over the reputation state (ids + values), hex-encoded.
+
+        Two snapshots serving identical reputations have identical
+        digests regardless of how ingest was batched — the replay
+        byte-identity pin.
+        """
+        payload = hashlib.sha256()
+        payload.update(np.ascontiguousarray(self.peer_ids).tobytes())
+        payload.update(np.ascontiguousarray(self.reputations).tobytes())
+        return payload.hexdigest()
+
+    def info(self) -> Dict:
+        """JSON-friendly metadata (no per-peer payload)."""
+        return {
+            "version": self.version,
+            "epoch": self.epoch,
+            "created_at": self.created_at,
+            "num_peers": self.num_peers,
+            "network_estimate": self.network_estimate,
+            "staleness": self.staleness,
+            "reports_folded": self.reports_folded,
+            "digest": self.digest(),
+        }

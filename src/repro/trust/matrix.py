@@ -66,6 +66,32 @@ class TrustMatrix:
         self._rows.setdefault(observer, {})[target] = float(value)
         self._by_target.setdefault(target, set()).add(observer)
 
+    def fold_report(self, observer: int, target: int, value: float) -> float:
+        """Fold one streamed trust report; return the target's new aggregate.
+
+        The ingest primitive of the reputation service
+        (:mod:`repro.service`): the report overwrites
+        ``t_{observer,target}`` — direct trust is the *latest* observed
+        behaviour, not an average of stale reports — and the returned
+        value is :meth:`column_mean_over_all` of ``target`` (eq. 1's
+        ``R_global`` column aggregate), i.e. the published opinion the
+        service re-announces for ``target``. Folding is pure state
+        application, so any batching of the same report stream yields
+        identical matrices and identical aggregates.
+
+        Examples
+        --------
+        >>> t = TrustMatrix(4)
+        >>> t.fold_report(0, 2, 0.8)
+        0.2
+        >>> round(t.fold_report(1, 2, 0.4), 6)
+        0.3
+        >>> round(t.fold_report(0, 2, 0.0), 6)  # observer 0 revises its report
+        0.1
+        """
+        self.set(observer, target, value)
+        return self.column_mean_over_all(target)
+
     def discard(self, observer: int, target: int) -> None:
         """Remove the ``(observer, target)`` entry if present."""
         row = self._rows.get(observer)
@@ -266,6 +292,15 @@ def random_trust_matrix(
         Number of additional random ordered observer/target pairs.
     rng:
         Seed / generator.
+
+    Examples
+    --------
+    >>> from repro.network.topology_example import example_network
+    >>> trust = random_trust_matrix(example_network(), rng=5)
+    >>> trust.num_nodes
+    10
+    >>> all(0.0 <= value <= 1.0 for _, _, value in trust.items())
+    True
     """
     check_probability(edge_probability, "edge_probability")
     if extra_pairs < 0:

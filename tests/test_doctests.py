@@ -26,3 +26,14 @@ def test_module_doctests(module_name):
     module = importlib.import_module(module_name)
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+@pytest.mark.parametrize("symbol", [name for name in repro.__all__ if not name.startswith("__")])
+def test_public_symbol_has_runnable_example(symbol):
+    """Every re-exported symbol documents itself with a doctest example."""
+    import inspect
+
+    obj = getattr(repro, symbol)
+    doc = inspect.getdoc(obj) or ""
+    assert doc, f"repro.{symbol} has no docstring"
+    assert ">>>" in doc, f"repro.{symbol} docstring has no runnable example"
