@@ -1,151 +1,160 @@
-"""Benchmark: sharded multi-process engine vs single-process sparse engine.
+"""Benchmark: push kernels, dtypes, and sharded executors at million scale.
 
-Builds one million-peer-class power-law overlay (the Batagelj–Brandes
-fast PA generator, N=1M / E≈8M by default), then runs the identical
-fixed-budget gossip burn (``run_to_max``) through the CSR sparse engine
-and the sharded engine and records *marginal round throughput* — steps
-per second with one-time setup (worker pool spawn, shard sampler
-construction, padded-group building) subtracted out by differencing a
-long run against a short one. ``BENCH_sharded.json`` carries both
-engines' numbers, the speedup ratio, and the host context (CPU count,
-start method): the ≥ 2.5× target at 4 workers presumes ≥ 4 physical
-cores, so the artifact records whether the host could express the
-parallelism at all rather than silently under-reporting the engine.
+Builds million-peer-class power-law overlays (the Batagelj–Brandes fast
+PA generator) and measures *marginal round throughput* — seconds per
+gossip step with one-time setup (plan construction, worker spawn, state
+concatenation) subtracted out — for two grids:
 
-The script cross-checks that both engines land near the same
-fully-mixed estimates and that gossip mass is conserved, so a speedup
-obtained by computing the wrong thing fails loudly.
+- **kernels** (``BENCH_kernels.json``): the sparse engine under every
+  available push kernel (unfused reference, fused numpy, numba when the
+  optional extra is installed) at float64 and float32, plus the sharded
+  engine's inline vs threaded executors with the per-phase breakdown
+  (sample / build-contributions / halo-merge / convergence) read off
+  ``engine.last_phase_timings``;
+- **sharded** (``BENCH_sharded.json``): the classic sharded-vs-sparse
+  comparison (inline / threads / processes contenders), same phase
+  breakdown.
+
+Methodology: container wall-clock is non-stationary (factor-2 swings
+between minutes are routine), so single long runs lie. Every contender
+runs SHORT and LONG fixed budgets back-to-back, contenders interleave
+round-robin within each repetition, the per-step cost is the *marginal*
+``(long - short) / (steps_long - steps_short)`` of each pair, and
+ratios are medians of per-repetition ratios — drift hits both sides of
+a ratio in the same minute. The ``parallelism_expressible`` flag
+records whether the host could express multi-worker parallelism at all
+rather than silently under-reporting the engine.
+
+The script cross-checks that every contender lands near the same
+fully-mixed estimates and conserves gossip mass, so a speedup obtained
+by computing the wrong thing fails loudly.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_sharded.py \
-        [--n 1000000] [--m 8] [--steps 30] [--short-steps 4] \
-        [--workers 4] [--shards 8] [--repeats 1] [--include-inline] \
-        [--out BENCH_sharded.json]
+        [--n 1000000] [--m 8] [--kernel-m 8 16] [--steps 13] \
+        [--short-steps 3] [--pairs 4] [--workers 4] [--shards 8] \
+        [--skip-kernels | --skip-sharded] [--out BENCH_sharded.json] \
+        [--kernels-out BENCH_kernels.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
+import statistics
 import sys
 import time
-from typing import Dict
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.kernels import available_kernels
 from repro.core.sharded_engine import ShardedGossipEngine, _default_start_method
 from repro.core.sparse_engine import SparseGossipEngine
 from repro.network.partition import partition_graph
 from repro.network.preferential_attachment import preferential_attachment_graph_fast
+from repro.utils.hardware import usable_cpu_count
 
-#: The acceptance bar: sharded round throughput vs sparse at 4 workers.
+#: Multi-core acceptance bar: sharded process-pool throughput vs sparse
+#: at 4 workers (presumes >= 4 usable cores).
 TARGET_SPEEDUP = 2.5
 
-
-def _timed_run(make_engine, values, weights, steps: int, repeats: int):
-    """Best wall-clock over ``repeats`` fixed-budget runs (fresh engine each)."""
-    best = float("inf")
-    outcome = None
-    for _ in range(repeats):
-        engine = make_engine()
-        start = time.perf_counter()
-        outcome = engine.run(
-            values, weights, xi=1e-12, max_steps=steps, run_to_max=True
-        )
-        best = min(best, time.perf_counter() - start)
-    return best, outcome
+#: Single-core acceptance bar: fused kernel throughput vs the unfused
+#: reference at N=1M.
+FUSED_TARGET = 1.5
 
 
-def _bench_engine(
-    name: str,
-    make_engine,
+def _timed_run(make_engine, values, weights, steps: int):
+    """(wall seconds, outcome, engine) of one fresh fixed-budget run."""
+    engine = make_engine()
+    start = time.perf_counter()
+    outcome = engine.run(values, weights, xi=1e-12, max_steps=steps, run_to_max=True)
+    return time.perf_counter() - start, outcome, engine
+
+
+def _paired_marginal_grid(
+    contenders: Dict[str, Callable[[], object]],
     values: np.ndarray,
     weights: np.ndarray,
     *,
     steps: int,
     short_steps: int,
-    repeats: int,
-) -> Dict[str, object]:
-    """Marginal throughput via long-vs-short differencing."""
-    short_elapsed, _ = _timed_run(make_engine, values, weights, short_steps, repeats)
-    long_elapsed, outcome = _timed_run(make_engine, values, weights, steps, repeats)
-    marginal = max(long_elapsed - short_elapsed, 1e-9)
-    throughput = (steps - short_steps) / marginal
-    print(
-        f"  {name:16s} {steps} steps in {long_elapsed:.2f}s "
-        f"({throughput:.2f} steps/s marginal, setup+{short_steps} steps {short_elapsed:.2f}s)"
-    )
-    return {
-        "long_steps": steps,
-        "long_seconds": round(long_elapsed, 4),
-        "short_steps": short_steps,
-        "short_seconds": round(short_elapsed, 4),
-        "steps_per_second": round(throughput, 4),
-        "push_messages": outcome.push_messages,
-        "_outcome": outcome,  # consumed by the caller's cross-check
-    }
+    pairs: int,
+) -> Dict[str, Dict[str, object]]:
+    """Median marginal per-step seconds per contender, interleaved.
 
-
-def run_benchmark(
-    n: int = 1_000_000,
-    *,
-    m: int = 8,
-    steps: int = 30,
-    short_steps: int = 4,
-    workers: int = 4,
-    shards: int = 8,
-    repeats: int = 1,
-    include_inline: bool = False,
-    seed: int = 2016,
-) -> Dict[str, object]:
-    """One full comparison; returns the JSON-ready record."""
+    Each repetition runs every contender's SHORT+LONG pair before the
+    next repetition starts, so slow minutes of the host hit every
+    contender roughly equally and per-repetition ratios stay honest.
+    """
     if short_steps >= steps:
         raise ValueError(f"short_steps ({short_steps}) must be < steps ({steps})")
-    build_start = time.perf_counter()
-    graph = preferential_attachment_graph_fast(n, m=m, rng=seed)
-    build_seconds = time.perf_counter() - build_start
-    values = np.random.default_rng(seed + 1).random(n)
-    weights = np.ones(n)
-    truth = float(values.mean())
-    partition = partition_graph(graph, shards)
-    print(
-        f"graph: N={graph.num_nodes} E={graph.num_edges} (built in {build_seconds:.1f}s); "
-        f"{shards} shards, edge cut {partition.edge_cut():.1%}"
-    )
-
-    contenders = {
-        "sparse": lambda: SparseGossipEngine(graph, rng=seed + 2),
-        f"sharded_w{workers}": lambda: ShardedGossipEngine(
-            graph, rng=seed + 2, num_shards=shards, num_workers=workers
-        ),
-    }
-    if include_inline:
-        contenders["sharded_w1"] = lambda: ShardedGossipEngine(
-            graph, rng=seed + 2, num_shards=shards, num_workers=1
-        )
-
+    marginals: Dict[str, List[float]] = {name: [] for name in contenders}
     results: Dict[str, Dict[str, object]] = {}
-    for name, make_engine in contenders.items():
-        results[name] = _bench_engine(
-            name,
-            make_engine,
-            values,
-            weights,
-            steps=steps,
-            short_steps=short_steps,
-            repeats=repeats,
+    for repetition in range(pairs):
+        for name, make_engine in contenders.items():
+            short_elapsed, _, _ = _timed_run(make_engine, values, weights, short_steps)
+            long_elapsed, outcome, engine = _timed_run(make_engine, values, weights, steps)
+            marginal = max(long_elapsed - short_elapsed, 1e-9) / (steps - short_steps)
+            marginals[name].append(marginal)
+            if repetition == pairs - 1:
+                record: Dict[str, object] = {
+                    "long_steps": steps,
+                    "short_steps": short_steps,
+                    "pairs": pairs,
+                    "marginal_step_seconds": [round(m, 7) for m in marginals[name]],
+                    "median_step_seconds": round(statistics.median(marginals[name]), 5),
+                    "steps_per_second": round(
+                        1.0 / statistics.median(marginals[name]), 4
+                    ),
+                    "push_messages": outcome.push_messages,
+                    "_outcome": outcome,  # consumed by the caller's cross-check
+                }
+                phases = getattr(engine, "last_phase_timings", None)
+                if phases is not None:
+                    record["phase_seconds"] = {
+                        key: round(value, 4) if isinstance(value, float) else value
+                        for key, value in phases.items()
+                    }
+                results[name] = record
+    for name in results:
+        print(
+            f"  {name:24s} median {results[name]['median_step_seconds']*1e3:8.1f} ms/step "
+            f"({results[name]['steps_per_second']:.2f} steps/s marginal)"
         )
+    return results
 
-    # Cross-check: mass conservation + agreement on the mixed estimates.
+
+def _median_ratio(
+    baseline: Dict[str, object], contender: Dict[str, object]
+) -> float:
+    """Throughput ratio contender/baseline, median of per-pair ratios."""
+    # The recorded marginals are rounded for the JSON artifact; clamp the
+    # denominator so a sub-resolution marginal (tiny-N smoke shapes)
+    # cannot divide by zero.
+    pairs = zip(baseline["marginal_step_seconds"], contender["marginal_step_seconds"])
+    return round(statistics.median(base / max(cont, 1e-9) for base, cont in pairs), 4)
+
+
+def _cross_check(
+    results: Dict[str, Dict[str, object]],
+    values: np.ndarray,
+    *,
+    steps: int,
+    mass_rtol: Dict[str, float],
+) -> None:
+    """Mass conservation + agreement on the mixed estimates, per contender."""
+    n = values.shape[0]
+    truth = float(values.mean())
     for name, record in results.items():
         outcome = record.pop("_outcome")
-        if not np.isclose(outcome.values.sum(), values.sum(), rtol=1e-9):
+        rtol = mass_rtol.get(name, 1e-9)
+        if not np.isclose(float(outcome.values.astype(np.float64).sum()), values.sum(), rtol=rtol):
             raise AssertionError(f"{name}: gossip value mass not conserved")
-        if not np.isclose(outcome.weights.sum(), float(n), rtol=1e-9):
+        if not np.isclose(float(outcome.weights.astype(np.float64).sum()), float(n), rtol=rtol):
             raise AssertionError(f"{name}: gossip weight mass not conserved")
-        errors = np.abs(outcome.estimates.reshape(-1) - truth)
+        errors = np.abs(outcome.estimates.reshape(-1).astype(np.float64) - truth)
         record["estimates_max_error"] = float(errors.max())
         record["estimates_mean_error"] = float(errors.mean())
         # Mixing needs ~log2(N) steps before the estimates mean anything;
@@ -157,9 +166,151 @@ def run_benchmark(
                 f"after {steps} steps — an engine is computing the wrong thing"
             )
 
-    sharded_key = f"sharded_w{workers}"
-    speedup = results[sharded_key]["steps_per_second"] / results["sparse"]["steps_per_second"]
-    host_cpus = os.cpu_count() or 1
+
+def _build_graph(n: int, m: int, seed: int):
+    build_start = time.perf_counter()
+    graph = preferential_attachment_graph_fast(n, m=m, rng=seed)
+    build_seconds = time.perf_counter() - build_start
+    print(
+        f"graph: N={graph.num_nodes} E={graph.num_edges} m={m} "
+        f"(built in {build_seconds:.1f}s)"
+    )
+    return graph, build_seconds
+
+
+def run_kernel_benchmark(
+    n: int = 1_000_000,
+    *,
+    m_values: Optional[List[int]] = None,
+    steps: int = 13,
+    short_steps: int = 3,
+    pairs: int = 4,
+    shards: int = 8,
+    seed: int = 2016,
+) -> Dict[str, object]:
+    """Kernel × dtype grid plus the sharded inline-vs-threads comparison."""
+    m_values = m_values or [8, 16]
+    host_cpus = usable_cpu_count()
+    kernels = [name for name in ("unfused", "fused", "numba") if name in available_kernels()]
+    grids: Dict[str, object] = {}
+    for m in m_values:
+        graph, build_seconds = _build_graph(n, m, seed)
+        values = np.random.default_rng(seed + 1).random(n)
+        weights = np.ones(n)
+
+        contenders: Dict[str, Callable[[], object]] = {}
+        mass_rtol: Dict[str, float] = {}
+        for kernel in kernels:
+            for dtype_name in ("float64", "float32"):
+                if kernel == "unfused" and dtype_name == "float32":
+                    continue  # the reference path is the float64 baseline
+                key = f"sparse/{kernel}/{dtype_name}"
+                dtype = np.dtype(dtype_name)
+                contenders[key] = (
+                    lambda kernel=kernel, dtype=dtype: SparseGossipEngine(
+                        graph, rng=seed + 2, kernel=kernel, dtype=dtype
+                    )
+                )
+                mass_rtol[key] = 1e-4 if dtype_name == "float32" else 1e-9
+        for executor in ("inline", "threads"):
+            key = f"sharded/{executor}/float64"
+            contenders[key] = lambda executor=executor: ShardedGossipEngine(
+                graph, rng=seed + 2, num_shards=shards, executor=executor
+            )
+            mass_rtol[key] = 1e-9
+
+        print(f"kernel grid at m={m}: {', '.join(contenders)}")
+        results = _paired_marginal_grid(
+            contenders, values, weights, steps=steps, short_steps=short_steps, pairs=pairs
+        )
+        _cross_check(results, values, steps=steps, mass_rtol=mass_rtol)
+
+        baseline = results["sparse/unfused/float64"]
+        for key, record in results.items():
+            record["engine"], record["kernel_or_executor"], record["dtype"] = key.split("/")
+            if key != "sparse/unfused/float64" and record["engine"] == "sparse":
+                record["speedup_vs_unfused_float64"] = _median_ratio(baseline, record)
+        threads_vs_inline = _median_ratio(
+            results["sharded/inline/float64"], results["sharded/threads/float64"]
+        )
+        fused = results["sparse/fused/float64"]
+        grids[f"m{m}"] = {
+            "m": m,
+            "num_edges": graph.num_edges,
+            "graph_build_seconds": round(build_seconds, 2),
+            "contenders": results,
+            "fused_float64_speedup": fused["speedup_vs_unfused_float64"],
+            "fused_target": FUSED_TARGET,
+            "fused_target_met": bool(
+                fused["speedup_vs_unfused_float64"] >= FUSED_TARGET
+            ),
+            "sharded_threads_vs_inline": threads_vs_inline,
+        }
+        print(
+            f"  m={m}: fused/f64 {fused['speedup_vs_unfused_float64']}x unfused "
+            f"(target {FUSED_TARGET}x); sharded threads {threads_vs_inline}x inline"
+        )
+    return {
+        "benchmark": "push_kernels",
+        "n": n,
+        "steps": steps,
+        "short_steps": short_steps,
+        "pairs": pairs,
+        "seed": seed,
+        "shards": shards,
+        "host_cpus": host_cpus,
+        "available_kernels": kernels,
+        "parallelism_expressible": bool(host_cpus >= 2),
+        "methodology": (
+            "paired marginal differencing: per repetition each contender runs "
+            "SHORT then LONG fixed budgets, marginal = (long-short)/(steps delta); "
+            "ratios are medians of per-repetition ratios (robust to the "
+            "non-stationary container clock)"
+        ),
+        "grids": grids,
+    }
+
+
+def run_benchmark(
+    n: int = 1_000_000,
+    *,
+    m: int = 8,
+    steps: int = 13,
+    short_steps: int = 3,
+    pairs: int = 3,
+    workers: int = 4,
+    shards: int = 8,
+    seed: int = 2016,
+) -> Dict[str, object]:
+    """Sharded executors vs the sparse engine; returns the JSON record."""
+    graph, build_seconds = _build_graph(n, m, seed)
+    values = np.random.default_rng(seed + 1).random(n)
+    weights = np.ones(n)
+    partition = partition_graph(graph, shards)
+    print(f"{shards} shards, edge cut {partition.edge_cut():.1%}")
+
+    contenders: Dict[str, Callable[[], object]] = {
+        "sparse": lambda: SparseGossipEngine(graph, rng=seed + 2),
+        "sharded_inline": lambda: ShardedGossipEngine(
+            graph, rng=seed + 2, num_shards=shards, executor="inline"
+        ),
+        "sharded_threads": lambda: ShardedGossipEngine(
+            graph, rng=seed + 2, num_shards=shards, executor="threads"
+        ),
+        f"sharded_procs_w{workers}": lambda: ShardedGossipEngine(
+            graph, rng=seed + 2, num_shards=shards, num_workers=workers,
+            executor="processes",
+        ),
+    }
+
+    results = _paired_marginal_grid(
+        contenders, values, weights, steps=steps, short_steps=short_steps, pairs=pairs
+    )
+    _cross_check(results, values, steps=steps, mass_rtol={})
+
+    sharded_key = f"sharded_procs_w{workers}"
+    speedup = _median_ratio(results["sparse"], results[sharded_key])
+    host_cpus = usable_cpu_count()
     record = {
         "benchmark": "sharded_vs_sparse",
         "n": n,
@@ -167,7 +318,7 @@ def run_benchmark(
         "num_edges": graph.num_edges,
         "steps": steps,
         "short_steps": short_steps,
-        "repeats": repeats,
+        "pairs": pairs,
         "seed": seed,
         "shards": shards,
         "workers": workers,
@@ -176,57 +327,82 @@ def run_benchmark(
         "host_cpus": host_cpus,
         "start_method": _default_start_method(),
         "engines": results,
-        "speedup_vs_sparse": round(speedup, 4),
+        "speedup_vs_sparse": speedup,
+        "threads_vs_inline": _median_ratio(
+            results["sharded_inline"], results["sharded_threads"]
+        ),
         "target_speedup": TARGET_SPEEDUP,
         "target_met": bool(speedup >= TARGET_SPEEDUP),
         "parallelism_expressible": bool(host_cpus >= workers),
     }
     if host_cpus < workers:
         record["note"] = (
-            f"host exposes {host_cpus} CPU(s) for {workers} workers: the measured "
-            f"ratio reflects IPC/scheduling overhead, not the engine's parallel "
-            f"scaling; re-run on >= {workers} cores for the target comparison"
+            f"host exposes {host_cpus} usable CPU(s) for {workers} workers: the "
+            f"measured ratio reflects IPC/scheduling overhead, not the engine's "
+            f"parallel scaling; re-run on >= {workers} cores for the target "
+            f"comparison"
         )
+    print(
+        f"N={n} E={graph.num_edges} workers={workers}: sharded/processes "
+        f"{speedup}x sparse (target {TARGET_SPEEDUP}x, host_cpus={host_cpus}); "
+        f"threads {record['threads_vs_inline']}x inline"
+    )
     return record
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=1_000_000)
-    parser.add_argument("--m", type=int, default=8)
-    parser.add_argument("--steps", type=int, default=30)
-    parser.add_argument("--short-steps", type=int, default=4)
+    parser.add_argument("--m", type=int, default=8, help="PA density of the sharded grid")
+    parser.add_argument(
+        "--kernel-m",
+        type=int,
+        nargs="+",
+        default=[8, 16],
+        help="PA densities of the kernel grid (one sub-grid per value)",
+    )
+    parser.add_argument("--steps", type=int, default=13)
+    parser.add_argument("--short-steps", type=int, default=3)
+    parser.add_argument("--pairs", type=int, default=4)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--shards", type=int, default=8)
-    parser.add_argument("--repeats", type=int, default=1)
-    parser.add_argument("--include-inline", action="store_true")
     parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--skip-kernels", action="store_true")
+    parser.add_argument("--skip-sharded", action="store_true")
     parser.add_argument("--out", default="BENCH_sharded.json")
+    parser.add_argument("--kernels-out", default="BENCH_kernels.json")
     args = parser.parse_args(argv)
 
-    record = run_benchmark(
-        args.n,
-        m=args.m,
-        steps=args.steps,
-        short_steps=args.short_steps,
-        workers=args.workers,
-        shards=args.shards,
-        repeats=args.repeats,
-        include_inline=args.include_inline,
-        seed=args.seed,
-    )
-    with open(args.out, "w") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    sharded = record["engines"][f"sharded_w{record['workers']}"]
-    sparse = record["engines"]["sparse"]
-    print(
-        f"N={record['n']} E={record['num_edges']} workers={record['workers']}: "
-        f"sharded {sharded['steps_per_second']:.2f} steps/s vs sparse "
-        f"{sparse['steps_per_second']:.2f} steps/s -> {record['speedup_vs_sparse']}x "
-        f"(target {record['target_speedup']}x, host_cpus={record['host_cpus']})"
-    )
-    print(f"wrote {args.out}")
+    if not args.skip_kernels:
+        record = run_kernel_benchmark(
+            args.n,
+            m_values=args.kernel_m,
+            steps=args.steps,
+            short_steps=args.short_steps,
+            pairs=args.pairs,
+            shards=args.shards,
+            seed=args.seed,
+        )
+        with open(args.kernels_out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.kernels_out}")
+
+    if not args.skip_sharded:
+        record = run_benchmark(
+            args.n,
+            m=args.m,
+            steps=args.steps,
+            short_steps=args.short_steps,
+            pairs=max(2, args.pairs - 1),
+            workers=args.workers,
+            shards=args.shards,
+            seed=args.seed,
+        )
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
     return 0
 
 

@@ -39,11 +39,13 @@ from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 import numpy as np
 
 from repro.core.differential import fixed_push_counts
-from repro.core.errors import GossipError
+from repro.core.errors import GossipError, UnsupportedDtypeError
 from repro.core.results import GossipOutcome
+from repro.core.state import resolve_state_dtype
 from repro.core.weights import WeightParams
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
+from repro.utils.hardware import usable_cpu_count
 from repro.utils.rng import RngLike, spawn_child, stateless_child_sequence
 
 #: Spawn key of the loss-model stream derived by GossipConfig.materialize.
@@ -134,10 +136,32 @@ class GossipConfig:
         is a *determinism* knob; ``None`` selects the backend's fixed
         default. Other backends ignore it.
     shard_workers:
-        Sharded backend only: worker process count — a pure
-        *throughput* knob (any value yields byte-identical outcomes;
-        ``1`` runs the shard schedule inline with no processes).
-        ``None`` selects by graph size. Other backends ignore it.
+        Sharded backend only: worker count or executor name — a pure
+        *throughput* knob (any value yields byte-identical outcomes).
+        An int sets the worker count under the default executor policy
+        (``1`` runs the shard schedule inline with no processes).
+        ``None`` selects by graph size. The strings ``"inline"``,
+        ``"threads"`` and ``"processes"`` select an executor outright:
+        ``"threads"`` runs shards on a thread pool over one in-process
+        state array (no shared-memory halo round-trips), ``"processes"``
+        forces the shared-memory worker pool, ``"inline"`` forces the
+        calling thread. Other backends ignore it.
+    dtype:
+        Gossip state precision: ``"float64"`` (default, the correctness
+        reference) or ``"float32"`` (halves state memory traffic at
+        ~1e-4-scale drift). Backends that cannot run the requested
+        precision raise
+        :class:`repro.core.errors.UnsupportedDtypeError` — state is
+        never silently cast (the message and async engines are
+        float64-only).
+    kernel:
+        Push-round kernel for the sparse engine: ``None``/"auto" (best
+        available), ``"numba"`` (needs the optional ``kernels`` extra),
+        ``"fused"`` (numpy), or ``"unfused"`` (historical reference
+        path). Unavailable kernels raise
+        :class:`repro.core.kernels.KernelUnavailableError`. Backends
+        without a kernel layer (including sharded, whose per-shard
+        samplers mirror the unfused path) ignore it.
 
     Examples
     --------
@@ -164,7 +188,9 @@ class GossipConfig:
     track_history: bool = False
     run_to_max: bool = False
     num_shards: Optional[int] = None
-    shard_workers: Optional[int] = None
+    shard_workers: "Optional[int | str]" = None
+    dtype: str = "float64"
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.xi <= 0:
@@ -183,8 +209,18 @@ class GossipConfig:
             raise ValueError(f"delta must be >= 0, got {self.delta}")
         if self.num_shards is not None and self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
-        if self.shard_workers is not None and self.shard_workers < 1:
-            raise ValueError(f"shard_workers must be >= 1, got {self.shard_workers}")
+        if self.shard_workers is not None:
+            if isinstance(self.shard_workers, str):
+                if self.shard_workers not in ("inline", "threads", "processes"):
+                    raise ValueError(
+                        "shard_workers accepts an int or one of 'inline', 'threads', "
+                        f"'processes', got {self.shard_workers!r}"
+                    )
+            elif self.shard_workers < 1:
+                raise ValueError(f"shard_workers must be >= 1, got {self.shard_workers}")
+        # Fail on unsupported dtypes at config construction, not deep in
+        # an engine — and never silently cast.
+        resolve_state_dtype(self.dtype)
 
     def resolved_push_counts(self, graph: Graph) -> Optional[np.ndarray]:
         """Per-node push counts for ``graph``, or ``None`` for the
@@ -260,6 +296,17 @@ class _SynchronousBackend:
     supports_run_to_max: bool = True
     _engine_class: Optional[Callable] = None
 
+    def _engine_kwargs(self, config: GossipConfig) -> Dict[str, object]:
+        """Extra constructor kwargs derived from ``config``.
+
+        The default forwards ``dtype`` (every vectorised engine takes
+        it). Engines pinned to float64 override this to raise
+        :class:`repro.core.errors.UnsupportedDtypeError` instead of
+        casting; engines with extra knobs (the sparse engine's
+        ``kernel``) extend it.
+        """
+        return {"dtype": resolve_state_dtype(config.dtype)}
+
     def run(
         self,
         graph: Graph,
@@ -276,6 +323,7 @@ class _SynchronousBackend:
             push_counts=config.resolved_push_counts(graph),
             loss_model=loss_model,
             rng=rng,
+            **self._engine_kwargs(config),
         )
         kwargs = dict(
             xi=config.xi,
@@ -300,6 +348,16 @@ class MessageBackend(_SynchronousBackend):
     name = "message"
     supports_run_to_max = False
 
+    def _engine_kwargs(self, config: GossipConfig) -> Dict[str, object]:
+        # The message engine gossips Python-float pairs; there is no
+        # float32 state to run, and casting would be silent.
+        if resolve_state_dtype(config.dtype) != np.float64:
+            raise UnsupportedDtypeError(
+                "backend 'message' runs float64 gossip state only; "
+                "use 'dense', 'sparse' or 'sharded' for float32"
+            )
+        return {}
+
     @property
     def _engine_class(self):
         from repro.core.engine import MessageLevelGossip
@@ -323,6 +381,11 @@ class SparseBackend(_SynchronousBackend):
     """CSR-vectorised engine with preallocated buffers for huge rounds."""
 
     name = "sparse"
+
+    def _engine_kwargs(self, config: GossipConfig) -> Dict[str, object]:
+        kwargs = super()._engine_kwargs(config)
+        kwargs["kernel"] = config.kernel
+        return kwargs
 
     @property
     def _engine_class(self):
@@ -367,13 +430,19 @@ class ShardedBackend:
                 "backend 'sharded' derives per-shard loss streams from the seed; "
                 "pass loss_probability instead of an explicit loss_model"
             )
+        workers = config.shard_workers
+        executor = None
+        if isinstance(workers, str):
+            workers, executor = None, workers
         engine = ShardedGossipEngine(
             graph,
             push_counts=config.resolved_push_counts(graph),
             loss_probability=config.loss_probability,
             rng=config.rng,
             num_shards=config.num_shards,
-            num_workers=config.shard_workers,
+            num_workers=workers,
+            executor=executor,
+            dtype=resolve_state_dtype(config.dtype),
         )
         return engine.run(
             values,
@@ -414,6 +483,13 @@ class AsyncBackend:
         config = config if config is not None else GossipConfig()
         if extras:
             raise BackendCapabilityError("backend 'async' does not support extra components")
+        # Event-driven state lives in per-node float64 scalars; there is
+        # no float32 mode to run and casting would be silent.
+        if resolve_state_dtype(config.dtype) != np.float64:
+            raise UnsupportedDtypeError(
+                "backend 'async' runs float64 gossip state only; "
+                "use 'dense', 'sparse' or 'sharded' for float32"
+            )
         rng, loss_model = config.materialize()
         if loss_model is not None:
             raise BackendCapabilityError("backend 'async' does not support packet loss")
@@ -560,9 +636,11 @@ def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> 
     Tiny worlds get the protocol-faithful message engine (free fidelity
     at that scale), experiment-scale graphs the dense numpy engine,
     large or edge-heavy graphs the CSR sparse engine, and million-peer
-    graphs the multi-process sharded engine. Configs that need
-    ``run_to_max`` skip the message engine (it does not support
-    fixed-budget runs).
+    graphs the multi-process sharded engine — provided the host has at
+    least two usable cores (:func:`repro.utils.hardware.usable_cpu_count`);
+    otherwise sharding is pure overhead and sparse stays the pick.
+    Configs that need ``run_to_max`` skip the message engine (it does
+    not support fixed-budget runs).
     """
     n = graph.num_nodes
     if n <= AUTO_MESSAGE_MAX_NODES and not (config is not None and config.run_to_max):
@@ -576,6 +654,12 @@ def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> 
     # must keep such configs on the single-process sparse engine rather
     # than escalating into a capability error.
     if config is not None and config.loss_model is not None:
+        return "sparse"
+    # The sharded engine only pays off when shards can actually run in
+    # parallel: on a host with a single usable core its worker
+    # orchestration is pure overhead (measured ~0.4x sparse), so "auto"
+    # stays on the sparse engine there.
+    if usable_cpu_count() < 2:
         return "sparse"
     return "sharded"
 

@@ -37,19 +37,28 @@ mass-conservation assertions, the same drained-ratio carry, the same
 :class:`~repro.network.churn.PacketLossModel` instance carries
 unsplittable generator state and is rejected.
 
-On a single worker (the default below
-:data:`SHARDED_INLINE_MAX_NODES`) the engine runs the identical
-shard-by-shard schedule inline — no processes, no shared memory — which
-keeps tiny-graph runs cheap while preserving bit-for-bit equality with
-the multi-process path.
+The engine offers three executors over the *same* shard schedule:
+``"inline"`` (shard-by-shard in the calling thread — no processes, no
+shared memory), ``"threads"`` (a persistent thread pool scattering into
+per-shard slices of one in-process state array — numpy releases the GIL
+across the sampling/scatter hot path, and no halo bytes ever cross a
+process boundary), and ``"processes"`` (the shared-memory worker pool
+described above). Because every executor runs the identical per-shard
+streams and the identical fixed-order merge, all three return
+byte-identical outcomes; the default policy picks inline for one worker
+and processes otherwise. Gossip state is ``float64`` by default;
+``dtype=np.float32`` halves state and contribution-buffer traffic while
+sampling keys stay float64 (target draws are dtype-independent).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,10 +67,11 @@ from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
 from repro.core.results import GossipOutcome
 from repro.core.sparse_engine import _coerce_graph
-from repro.core.state import MASS_RTOL, ratios
+from repro.core.state import mass_rtol_for, ratios, resolve_state_dtype
 from repro.core.vector_engine import _as_state_matrix
 from repro.network.graph import Graph
 from repro.network.partition import GraphPartition, ShardView, partition_graph
+from repro.utils.hardware import usable_cpu_count
 from repro.utils.rng import RngLike, stateless_child_sequence
 
 #: Default shard count. Deliberately a size-independent constant: results
@@ -80,6 +90,9 @@ DEFAULT_MAX_WORKERS = 4
 #: streams use keys 0..num_shards-1 (exactly what SeedSequence.spawn
 #: would hand out); loss streams sit far above so they never collide.
 SHARD_LOSS_STREAM_KEY = 0x10055000
+
+#: Recognised executor names (``None`` means "pick by worker count").
+EXECUTOR_NAMES = ("inline", "threads", "processes")
 
 
 class _LocalPushGroup:
@@ -136,6 +149,7 @@ class _ShardSampler:
         seed_root: np.random.SeedSequence,
         loss_probability: float,
         num_cols: int,
+        dtype=np.float64,
     ):
         self.view = view
         lo, hi = view.lo, view.hi
@@ -172,7 +186,11 @@ class _ShardSampler:
         max_pushes = int(self._k1_rows.size) + sum(
             group.rows.size * group.k for group in self._groups
         )
-        self._shares_buf = np.empty((max_pushes, num_cols), dtype=np.float64)
+        self._shares_buf = np.empty((max_pushes, num_cols), dtype=dtype)
+        #: Wall seconds the last :meth:`compute` spent choosing targets
+        #: and building contributions respectively (phase breakdown).
+        self.last_sample_seconds = 0.0
+        self.last_build_seconds = 0.0
 
     def compute(
         self,
@@ -187,6 +205,7 @@ class _ShardSampler:
         writes the shard's ``contrib`` (local rows × components) and
         ``heard`` (local rows) buffers. Returns the number of pushes.
         """
+        tick = time.perf_counter()
         active_local = active[self.lo : self.lo + self.view.owned_size]
         sender_chunks: List[np.ndarray] = []
         target_chunks: List[np.ndarray] = []
@@ -213,6 +232,8 @@ class _ShardSampler:
         heard[:] = False
         if not sender_chunks:
             contrib[:] = 0.0
+            self.last_sample_seconds = time.perf_counter() - tick
+            self.last_build_seconds = 0.0
             return 0
         senders_local = np.concatenate(sender_chunks)
         targets_local = np.concatenate(target_chunks)
@@ -224,6 +245,8 @@ class _ShardSampler:
             delivered = targets_local[~lost]
         else:
             delivered = targets_local
+        tock = time.perf_counter()
+        self.last_sample_seconds = tock - tick
         senders_global = senders_local + self.lo
         shares = self._shares_buf[: senders_local.size]
         np.multiply(
@@ -235,6 +258,7 @@ class _ShardSampler:
             # every row — no separate zeroing pass over the buffer.
             contrib[:, c] = np.bincount(targets_local, weights=shares[:, c], minlength=length)
         heard[delivered] = True
+        self.last_build_seconds = time.perf_counter() - tock
         return int(senders_local.size)
 
 
@@ -330,21 +354,24 @@ def _shard_worker_main(
     offsets: np.ndarray,
     shm_names: Dict[str, str],
     start_method: str,
+    dtype_name: str = "float64",
 ) -> None:
     """Worker loop: build this worker's samplers, then serve A/B phases."""
     indptr, indices, degrees = graph_arrays
     num_shards = len(views)
     total_local = int(offsets[-1])
+    dtype = np.dtype(dtype_name)
     shms = {name: shared_memory.SharedMemory(name=value) for name, value in shm_names.items()}
     try:
         for shm in shms.values():
             _untrack(shm, start_method)
-        state = _attach(shms["state"], (n, num_cols), np.float64)
+        state = _attach(shms["state"], (n, num_cols), dtype)
         active = _attach(shms["active"], (n,), np.bool_)
         heard_global = _attach(shms["heard"], (n,), np.bool_)
-        contrib_flat = _attach(shms["contrib"], (total_local, num_cols), np.float64)
+        contrib_flat = _attach(shms["contrib"], (total_local, num_cols), dtype)
         heard_flat = _attach(shms["shard_heard"], (total_local,), np.bool_)
         pushes = _attach(shms["pushes"], (num_shards,), np.int64)
+        timings = _attach(shms["timings"], (num_shards, 2), np.float64)
         contribs = [contrib_flat[offsets[s] : offsets[s + 1]] for s in range(num_shards)]
         heards = [heard_flat[offsets[s] : offsets[s + 1]] for s in range(num_shards)]
         mine = [s for s in range(num_shards) if s % num_workers == worker_index]
@@ -359,6 +386,7 @@ def _shard_worker_main(
                 seed_root,
                 loss_probability,
                 num_cols,
+                dtype,
             )
             for s in mine
         }
@@ -367,7 +395,10 @@ def _shard_worker_main(
             message = conn.recv()
             if message == "A":
                 for s in mine:
-                    pushes[s] = samplers[s].compute(state, active, contribs[s], heards[s])
+                    sampler = samplers[s]
+                    pushes[s] = sampler.compute(state, active, contribs[s], heards[s])
+                    timings[s, 0] = sampler.last_sample_seconds
+                    timings[s, 1] = sampler.last_build_seconds
                 conn.send("a")
             elif message == "B":
                 for d in mine:
@@ -443,10 +474,15 @@ def _default_start_method() -> str:
 
 
 def default_worker_count(num_nodes: int) -> int:
-    """The default worker policy: inline under the threshold, else cores."""
+    """The default worker policy: inline under the threshold, else cores.
+
+    Cores means *usable* cores (:func:`repro.utils.hardware.usable_cpu_count`):
+    a container pinned to one core should not pay worker-pool overhead it
+    cannot amortise.
+    """
     if num_nodes <= SHARDED_INLINE_MAX_NODES:
         return 1
-    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+    return max(1, min(DEFAULT_MAX_WORKERS, usable_cpu_count()))
 
 
 class ShardedGossipEngine:
@@ -480,10 +516,26 @@ class ShardedGossipEngine:
         on ``(seed, num_shards)`` only. Default
         :data:`DEFAULT_NUM_SHARDS`, clamped to the node count.
     num_workers:
-        Worker processes — the *throughput* knob: any value returns
+        Worker count — the *throughput* knob: any value returns
         byte-identical outcomes. Default: 1 (inline, no processes) up
         to :data:`SHARDED_INLINE_MAX_NODES` nodes, else up to
-        :data:`DEFAULT_MAX_WORKERS` capped by the CPU count.
+        :data:`DEFAULT_MAX_WORKERS` capped by the usable CPU count.
+    executor:
+        How shard work is scheduled: ``"inline"`` (calling thread),
+        ``"threads"`` (persistent thread pool over one in-process state
+        array — no shared-memory segments, no halo round-trips through
+        pipes) or ``"processes"`` (shared-memory worker pool). Default
+        ``None`` picks inline for one worker and processes otherwise.
+        Every executor runs the same per-shard seed streams and the
+        same fixed merge order, so outcomes are byte-identical across
+        executors as well as worker counts.
+    dtype:
+        Gossip state precision — ``numpy.float64`` (default, the
+        reference) or ``numpy.float32`` (halves state and contribution
+        memory traffic; sampling keys and convergence accounting stay
+        float64, so target draws are byte-identical across dtypes).
+        Anything else raises
+        :class:`repro.core.errors.UnsupportedDtypeError`.
 
     Examples
     --------
@@ -506,7 +558,9 @@ class ShardedGossipEngine:
         degree_announcements: Optional[bool] = None,
         num_shards: Optional[int] = None,
         num_workers: Optional[int] = None,
+        executor: Optional[str] = None,
         start_method: Optional[str] = None,
+        dtype=np.float64,
     ):
         if loss_model is not None:
             raise ValueError(
@@ -529,12 +583,32 @@ class ShardedGossipEngine:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self._partition = partition_graph(graph, num_shards)
+        if executor is not None and executor not in EXECUTOR_NAMES:
+            names = ", ".join(repr(name) for name in EXECUTOR_NAMES)
+            raise ValueError(f"executor must be one of {names} or None, got {executor!r}")
         if num_workers is None:
-            num_workers = default_worker_count(graph.num_nodes)
+            if executor == "inline":
+                num_workers = 1
+            elif executor == "threads":
+                # Threads are cheap enough to skip the inline-threshold
+                # policy; scale to usable cores directly.
+                num_workers = max(1, min(DEFAULT_MAX_WORKERS, usable_cpu_count()))
+            else:
+                num_workers = default_worker_count(graph.num_nodes)
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if executor == "inline" and num_workers != 1:
+            raise ValueError(
+                f"executor 'inline' runs shards in the calling thread; "
+                f"num_workers must be 1, got {num_workers}"
+            )
         self._num_workers = min(int(num_workers), self._partition.num_shards)
+        if executor is None:
+            executor = "processes" if self._num_workers > 1 else "inline"
+        self._executor = executor
+        self._dtype = resolve_state_dtype(dtype)
         self._start_method = start_method or _default_start_method()
+        self._last_phase_timings: Optional[Dict[str, float]] = None
 
         if isinstance(rng, np.random.Generator):
             self._seed_root = np.random.SeedSequence(int(rng.integers(2**63)))
@@ -560,8 +634,39 @@ class ShardedGossipEngine:
 
     @property
     def num_workers(self) -> int:
-        """Worker processes used per run (1 = inline execution)."""
+        """Workers used per run (1 with the inline executor)."""
         return self._num_workers
+
+    @property
+    def executor(self) -> str:
+        """Resolved executor name: 'inline', 'threads' or 'processes'."""
+        return self._executor
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Gossip state precision this engine runs at."""
+        return self._dtype
+
+    @property
+    def last_phase_timings(self) -> Optional[Dict[str, float]]:
+        """Per-phase timing breakdown of the most recent :meth:`run`.
+
+        ``None`` before the first run. Keys:
+
+        - ``sample_seconds`` / ``build_contributions_seconds`` — summed
+          per-shard wall time of target sampling and contribution
+          accumulation (phase A). Summed across shards, so under a
+          parallel executor this exceeds phase-A wall time.
+        - ``phase_a_wall_seconds`` — wall time of phase A as observed
+          by the coordinator.
+        - ``halo_merge_seconds`` — wall time of phase B (scale + halo
+          merge).
+        - ``convergence_seconds`` — wall time of ratio/deviation/
+          mass-conservation accounting between steps.
+        - ``total_seconds`` / ``steps`` — whole-loop wall time and the
+          number of gossip steps it covers.
+        """
+        return None if self._last_phase_timings is None else dict(self._last_phase_timings)
 
     @property
     def push_counts(self) -> np.ndarray:
@@ -595,15 +700,16 @@ class ShardedGossipEngine:
         """
         graph = self._graph
         n = graph.num_nodes
-        value = _as_state_matrix(values, n, "values")
-        weight = _as_state_matrix(weights, n, "weights")
+        dtype = self._dtype
+        value = _as_state_matrix(values, n, "values", dtype=dtype)
+        weight = _as_state_matrix(weights, n, "weights", dtype=dtype)
         d = value.shape[1]
         if weight.shape != value.shape:
             raise ValueError(f"weights shape {weight.shape} != values shape {value.shape}")
         names: List[str] = ["value", "weight"]
         columns: List[np.ndarray] = [value, weight]
         for name, extra in (extras or {}).items():
-            matrix = _as_state_matrix(extra, n, f"extras[{name}]")
+            matrix = _as_state_matrix(extra, n, f"extras[{name}]", dtype=dtype)
             if matrix.shape != value.shape:
                 raise ValueError(
                     f"extras[{name}] shape {matrix.shape} != values shape {value.shape}"
@@ -621,9 +727,11 @@ class ShardedGossipEngine:
         np.cumsum([view.local_size for view in views], out=offsets[1:])
         total_local = int(offsets[-1])
 
-        multiprocess = self._num_workers > 1
+        use_shm = self._executor == "processes"
+        itemsize = dtype.itemsize
         shms: List[shared_memory.SharedMemory] = []
         pool: Optional[_WorkerPool] = None
+        thread_pool: Optional[ThreadPoolExecutor] = None
 
         def _shared(name: str, nbytes: int) -> shared_memory.SharedMemory:
             shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
@@ -631,21 +739,24 @@ class ShardedGossipEngine:
             return shm
 
         try:
-            if multiprocess:
+            if use_shm:
                 state = _attach(
-                    _shared("state", n * total_cols * 8), (n, total_cols), np.float64
+                    _shared("state", n * total_cols * itemsize), (n, total_cols), dtype
                 )
                 active = _attach(_shared("active", n), (n,), np.bool_)
                 heard_global = _attach(_shared("heard", n), (n,), np.bool_)
                 contrib_flat = _attach(
-                    _shared("contrib", total_local * total_cols * 8),
+                    _shared("contrib", total_local * total_cols * itemsize),
                     (total_local, total_cols),
-                    np.float64,
+                    dtype,
                 )
                 heard_flat = _attach(
                     _shared("shard_heard", total_local), (total_local,), np.bool_
                 )
                 pushes = _attach(_shared("pushes", num_shards * 8), (num_shards,), np.int64)
+                timings = _attach(
+                    _shared("timings", num_shards * 2 * 8), (num_shards, 2), np.float64
+                )
                 shm_names = {
                     "state": shms[0].name,
                     "active": shms[1].name,
@@ -653,20 +764,30 @@ class ShardedGossipEngine:
                     "contrib": shms[3].name,
                     "shard_heard": shms[4].name,
                     "pushes": shms[5].name,
+                    "timings": shms[6].name,
                 }
             else:
-                state = np.empty((n, total_cols), dtype=np.float64)
+                state = np.empty((n, total_cols), dtype=dtype)
                 active = np.empty(n, dtype=np.bool_)
                 heard_global = np.empty(n, dtype=np.bool_)
-                contrib_flat = np.empty((total_local, total_cols), dtype=np.float64)
+                contrib_flat = np.empty((total_local, total_cols), dtype=dtype)
                 heard_flat = np.empty(total_local, dtype=np.bool_)
                 pushes = np.zeros(num_shards, dtype=np.int64)
+            if not use_shm:
+                timings = np.zeros((num_shards, 2), dtype=np.float64)
 
             np.concatenate(columns, axis=1, out=state)
             contribs = [contrib_flat[offsets[s] : offsets[s + 1]] for s in range(num_shards)]
             heards = [heard_flat[offsets[s] : offsets[s + 1]] for s in range(num_shards)]
 
-            if multiprocess:
+            inv_k_plus_one = self._inv_k_plus_one
+            if dtype != np.float64:
+                # Share arithmetic and merge scaling run at state
+                # precision: float64 inverse divisors would silently
+                # upcast every share multiply back to float64.
+                inv_k_plus_one = inv_k_plus_one.astype(dtype)
+
+            if use_shm:
                 context = multiprocessing.get_context(self._start_method)
                 graph_arrays = (graph.indptr, graph.indices, graph.degrees)
                 pool = _WorkerPool(
@@ -678,7 +799,7 @@ class ShardedGossipEngine:
                             views,
                             graph_arrays,
                             self._push_counts,
-                            self._inv_k_plus_one,
+                            inv_k_plus_one,
                             self._seed_root,
                             self._loss_probability,
                             total_cols,
@@ -686,11 +807,18 @@ class ShardedGossipEngine:
                             offsets,
                             shm_names,
                             self._start_method,
+                            dtype.name,
                         )
                         for worker in range(self._num_workers)
                     ],
                 )
-                samplers = None
+
+                def phase_a() -> None:
+                    pool.phase("A")
+
+                def phase_b() -> None:
+                    pool.phase("B")
+
             else:
                 samplers = [
                     _ShardSampler(
@@ -699,24 +827,84 @@ class ShardedGossipEngine:
                         graph.indices,
                         graph.degrees,
                         self._push_counts,
-                        self._inv_k_plus_one,
+                        inv_k_plus_one,
                         self._seed_root,
                         self._loss_probability,
                         total_cols,
+                        dtype,
                     )
                     for view in views
                 ]
+
+                def compute_shard(s: int) -> None:
+                    sampler = samplers[s]
+                    pushes[s] = sampler.compute(state, active, contribs[s], heards[s])
+                    timings[s, 0] = sampler.last_sample_seconds
+                    timings[s, 1] = sampler.last_build_seconds
+
+                def merge_shard(destination: int) -> None:
+                    _merge_destination(
+                        destination,
+                        views,
+                        state,
+                        active,
+                        inv_k_plus_one,
+                        contribs,
+                        heards,
+                        heard_global,
+                    )
+
+                if self._executor == "threads":
+                    # Same shard→worker assignment as the process pool
+                    # (round-robin by shard index). Phase A tasks write
+                    # disjoint contribution buffers; phase B tasks write
+                    # disjoint owned row ranges — no locks needed, and
+                    # the fixed per-shard merge order makes the result
+                    # byte-identical to the inline schedule.
+                    thread_pool = ThreadPoolExecutor(
+                        max_workers=self._num_workers, thread_name_prefix="repro-shard"
+                    )
+                    assignments = [
+                        range(worker, num_shards, self._num_workers)
+                        for worker in range(self._num_workers)
+                    ]
+
+                    def _run_assignment(task: Callable[[int], None], mine) -> None:
+                        for s in mine:
+                            task(s)
+
+                    def _scatter(task: Callable[[int], None]) -> None:
+                        futures = [
+                            thread_pool.submit(_run_assignment, task, mine)
+                            for mine in assignments
+                        ]
+                        for future in futures:
+                            future.result()
+
+                    def phase_a() -> None:
+                        _scatter(compute_shard)
+
+                    def phase_b() -> None:
+                        _scatter(merge_shard)
+
+                else:
+
+                    def phase_a() -> None:
+                        for s in range(num_shards):
+                            compute_shard(s)
+
+                    def phase_b() -> None:
+                        for destination in range(num_shards):
+                            merge_shard(destination)
 
             return self._run_loop(
                 state=state,
                 active=active,
                 heard_global=heard_global,
-                contribs=contribs,
-                heards=heards,
                 pushes=pushes,
-                samplers=samplers,
-                pool=pool,
-                views=views,
+                timings=timings,
+                phase_a=phase_a,
+                phase_b=phase_b,
                 names=names,
                 slices=slices,
                 d=d,
@@ -728,6 +916,8 @@ class ShardedGossipEngine:
                 warmup_steps=warmup_steps,
             )
         finally:
+            if thread_pool is not None:
+                thread_pool.shutdown(wait=True)
             if pool is not None:
                 pool.shutdown()
             for shm in shms:
@@ -740,12 +930,10 @@ class ShardedGossipEngine:
         state: np.ndarray,
         active: np.ndarray,
         heard_global: np.ndarray,
-        contribs: Sequence[np.ndarray],
-        heards: Sequence[np.ndarray],
         pushes: np.ndarray,
-        samplers: Optional[List[_ShardSampler]],
-        pool: Optional[_WorkerPool],
-        views: Sequence[ShardView],
+        timings: np.ndarray,
+        phase_a: Callable[[], None],
+        phase_b: Callable[[], None],
         names: List[str],
         slices: Dict[str, slice],
         d: int,
@@ -760,10 +948,12 @@ class ShardedGossipEngine:
         graph = self._graph
         n = graph.num_nodes
         degrees = graph.degrees
-        inv_k_plus_one = self._inv_k_plus_one
+        mass_rtol = mass_rtol_for(self._dtype)
 
-        initial_mass = {name: float(state[:, sl].sum()) for name, sl in slices.items()}
-        live_components = state[:, slices["weight"]].sum(axis=0) != 0.0
+        initial_mass = {
+            name: float(state[:, sl].sum(dtype=np.float64)) for name, sl in slices.items()
+        }
+        live_components = state[:, slices["weight"]].sum(axis=0, dtype=np.float64) != 0.0
         if warmup_steps is None:
             warmup_steps = int(np.ceil(np.log2(max(2, n)))) + 1
         protocol = ConvergenceProtocol(
@@ -777,6 +967,12 @@ class ShardedGossipEngine:
         protocol_messages = int(degrees.sum()) if self._degree_announcements else 0
         active_node_steps = 0
         steps = 0
+        sample_seconds = 0.0
+        build_seconds = 0.0
+        phase_a_wall = 0.0
+        halo_merge_seconds = 0.0
+        convergence_seconds = 0.0
+        loop_start = time.perf_counter()
 
         while not protocol.all_stopped or (run_to_max and steps < max_steps):
             if steps >= max_steps:
@@ -789,23 +985,18 @@ class ShardedGossipEngine:
                 np.greater(degrees, 0, out=active)
                 active &= ~protocol.stopped
 
-            if pool is not None:
-                pool.phase("A")
-                pool.phase("B")
-            else:
-                for s, sampler in enumerate(samplers):
-                    pushes[s] = sampler.compute(state, active, contribs[s], heards[s])
-                for dest in range(len(views)):
-                    _merge_destination(
-                        dest,
-                        views,
-                        state,
-                        active,
-                        inv_k_plus_one,
-                        contribs,
-                        heards,
-                        heard_global,
-                    )
+            tick = time.perf_counter()
+            phase_a()
+            tock = time.perf_counter()
+            phase_b()
+            conv_start = time.perf_counter()
+            phase_a_wall += tock - tick
+            halo_merge_seconds += conv_start - tock
+            # Per-shard sample/build splits, summed over shards (CPU
+            # time, not wall — they can exceed phase_a_wall under a
+            # parallel executor).
+            sample_seconds += float(timings[:, 0].sum())
+            build_seconds += float(timings[:, 1].sum())
             push_messages += int(pushes.sum())
             active_node_steps += int(active.sum())
 
@@ -832,16 +1023,26 @@ class ShardedGossipEngine:
             steps += 1
 
             for name, sl in slices.items():
-                total = float(state[:, sl].sum())
+                total = float(state[:, sl].sum(dtype=np.float64))
                 mass_scale = max(abs(initial_mass[name]), 1.0)
-                if abs(total - initial_mass[name]) > MASS_RTOL * mass_scale * max(
+                if abs(total - initial_mass[name]) > mass_rtol * mass_scale * max(
                     1.0, np.sqrt(n * d)
                 ):
                     raise MassConservationError(
                         f"component {name!r} mass drifted from {initial_mass[name]!r} "
                         f"to {total!r} at step {steps}"
                     )
+            convergence_seconds += time.perf_counter() - conv_start
 
+        self._last_phase_timings = {
+            "sample_seconds": sample_seconds,
+            "build_contributions_seconds": build_seconds,
+            "phase_a_wall_seconds": phase_a_wall,
+            "halo_merge_seconds": halo_merge_seconds,
+            "convergence_seconds": convergence_seconds,
+            "total_seconds": time.perf_counter() - loop_start,
+            "steps": steps,
+        }
         extra_names = [name for name in names if name not in ("value", "weight")]
         return GossipOutcome(
             values=state[:, slices["value"]].copy(),

@@ -4,30 +4,39 @@ This is the scale-path engine: it executes the exact Algorithm 1–4
 update rule of :class:`repro.core.vector_engine.VectorGossipEngine`, but
 every per-step operation is a flat vectorised pass over preallocated
 buffers — no Python loop over nodes, however skewed the degree
-distribution. The differences that matter at large N:
+distribution.
 
-- **Target selection** is fully vectorised. Nodes are grouped by push
-  count ``k`` at construction time; each group's neighbour lists are
-  padded into a dense ``(group_size, max_degree)`` matrix once, and a
-  step draws one uniform key per neighbour slot and takes the ``k``
-  smallest keys per node (``argpartition``), which is a uniform random
-  ``k``-subset of distinct neighbours. The dense engine instead loops
-  over every hub in Python (``rng.choice`` per node per step).
-- **Accumulation** uses per-column ``np.bincount`` scatter-adds instead
-  of ``np.add.at`` (bincount is several times faster for int64 targets).
-- **State** for all gossiped components (value, weight, extras) lives in
-  one contiguous ``(N, C)`` matrix, so each step performs a single
-  gather and a single scale instead of one per component.
+The push round itself — target sampling, share split, self-share scale,
+scatter-accumulate, heard bookkeeping — is delegated to a pluggable
+*kernel* from :mod:`repro.core.kernels`:
+
+- ``fused`` (default): prescales the state matrix once and buffer-swaps
+  instead of re-scaling, gathers shares with a single ``take``, and
+  scatter-adds all columns through one combined ``bincount`` — no
+  ``(N, C)`` temporaries in the hot loop.
+- ``numba``: the same round with compiled selection and a fully fused
+  scatter pass; requires the optional ``kernels`` extra.
+- ``unfused``: the historical step, byte-for-byte, kept as the parity
+  and benchmark reference.
+
+All kernels draw targets through one shared
+:class:`~repro.core.kernels.plan.PushPlan`, so a fixed seed samples the
+same neighbour subsets under every kernel; see the kernels package for
+the exact byte-compatibility contract. The engine also accepts a state
+``dtype`` — float64 is the reference, float32 halves memory traffic
+while keeping sampling (and therefore the gossip communication pattern)
+byte-identical, since random keys always stay float64.
 
 Semantics are identical to the dense engine: the same
 :class:`repro.core.convergence.ConvergenceProtocol` stop rule, the same
 :class:`repro.network.churn.PacketLossModel` mass-conserving redirect,
-the same per-step mass-conservation assertions, and the same
-drained-ratio carry for underflowed cells. Identical seeds replay
-identical *sparse* runs bit-for-bit; the sparse and dense engines
-consume randomness in different patterns, so their trajectories differ
-step-by-step while converging to the same estimates (the cross-engine
-integration tests pin this to 1e-8 relative agreement).
+the same per-step mass-conservation assertions (tolerance scaled to the
+state dtype), and the same drained-ratio carry for underflowed cells.
+Identical seeds replay identical *sparse* runs bit-for-bit under a
+fixed kernel; the sparse and dense engines consume randomness in
+different patterns, so their trajectories differ step-by-step while
+converging to the same estimates (the cross-engine integration tests
+pin this to 1e-8 relative agreement).
 
 The engine accepts either a :class:`repro.network.graph.Graph` or any
 ``scipy.sparse`` adjacency matrix (converted once via
@@ -40,11 +49,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.convergence import ConvergenceProtocol, deviation_vector
+from repro.core.convergence import ConvergenceProtocol
 from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
+from repro.core.kernels import PushPlan, select_kernel
 from repro.core.results import GossipOutcome
-from repro.core.state import MASS_RTOL, ratios
+from repro.core.state import UNDEFINED_RATIO, mass_rtol_for, resolve_state_dtype
 from repro.core.vector_engine import _as_state_matrix
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
@@ -60,37 +70,6 @@ def _coerce_graph(graph) -> Graph:
     raise TypeError(
         f"graph must be a repro Graph or a scipy sparse adjacency matrix, got {type(graph)!r}"
     )
-
-
-class _PushGroup:
-    """Preallocated sampling state for nodes sharing one push count ``k >= 2``.
-
-    ``padded_neighbors[r]`` holds node ``nodes[r]``'s neighbour list,
-    right-padded to the group's maximum degree; ``invalid`` marks the
-    padding slots. ``keys`` is a reusable scratch buffer for the random
-    sort keys (rows beyond the active count are simply unused that step).
-
-    Groups are built per (k, degree band) — see the engine constructor —
-    so the padding width stays within 2x of every member's degree and
-    total padded storage is O(E), however skewed the degree distribution.
-    """
-
-    __slots__ = ("k", "nodes", "padded_neighbors", "invalid", "keys")
-
-    def __init__(self, k: int, nodes: np.ndarray, graph: Graph):
-        self.k = int(k)
-        self.nodes = nodes
-        degrees = graph.degrees[nodes]
-        width = int(degrees.max())
-        starts = graph.indptr[nodes]
-        cols = np.arange(width, dtype=np.int64)
-        slots = starts[:, None] + cols[None, :]
-        valid = cols[None, :] < degrees[:, None]
-        # Clamp padding reads into range; the values there are never used.
-        slots[~valid] = 0
-        self.padded_neighbors = graph.indices[slots]
-        self.invalid = ~valid
-        self.keys = np.empty((nodes.size, width), dtype=np.float64)
 
 
 class SparseGossipEngine:
@@ -113,6 +92,15 @@ class SparseGossipEngine:
         Optional churn/packet-loss model applied to every push.
     rng:
         Seed / generator for target selection.
+    dtype:
+        Gossip state precision: ``"float64"`` (reference, default) or
+        ``"float32"`` (half the memory traffic; target sampling stays
+        byte-identical). Anything else raises
+        :class:`repro.core.errors.UnsupportedDtypeError`.
+    kernel:
+        Push-round kernel name (``"fused"``, ``"numba"``,
+        ``"unfused"``) or ``None``/"auto" for the best available — see
+        :func:`repro.core.kernels.select_kernel`.
 
     Examples
     --------
@@ -134,6 +122,8 @@ class SparseGossipEngine:
         loss_model: Optional[PacketLossModel] = None,
         rng: RngLike = None,
         degree_announcements: Optional[bool] = None,
+        dtype=np.float64,
+        kernel: Optional[str] = None,
     ):
         graph = _coerce_graph(graph)
         self._graph = graph
@@ -144,24 +134,14 @@ class SparseGossipEngine:
         self._push_counts = push_counts
         self._loss_model = loss_model
         self._rng = as_generator(rng)
-
-        degrees = graph.degrees
-        eligible = degrees > 0
-        self._k1_nodes = np.flatnonzero(eligible & (push_counts == 1))
-        self._groups: List[_PushGroup] = []
-        for k in np.unique(push_counts[eligible & (push_counts >= 2)]):
-            nodes = np.flatnonzero(push_counts == k)
-            # Sub-bucket by degree scale (powers of two): one huge hub
-            # sharing k with thousands of low-degree nodes must not
-            # widen every row of their padded matrix to its degree.
-            bands = np.ceil(np.log2(degrees[nodes])).astype(np.int64)
-            for band in np.unique(bands):
-                self._groups.append(_PushGroup(int(k), nodes[bands == band], graph))
-        # Reusable per-step buffers (flat, preallocated once).
-        n = graph.num_nodes
-        self._scale = np.empty(n, dtype=np.float64)
+        self._dtype = resolve_state_dtype(dtype)
+        # Resolve the kernel spec up front so an unavailable request
+        # fails at construction, not mid-run.
+        self._kernel_spec = select_kernel(kernel)
+        self._plan = PushPlan(graph.indptr, graph.indices, graph.degrees, push_counts)
         self._inv_k_plus_one = 1.0 / (push_counts + 1.0)
-        self._max_pushes = int(push_counts[eligible].sum())
+        self._max_pushes = self._plan.max_pushes
+        self._kernels: Dict[int, object] = {}
 
     @property
     def graph(self) -> Graph:
@@ -175,6 +155,25 @@ class SparseGossipEngine:
         view.flags.writeable = False
         return view
 
+    @property
+    def kernel_name(self) -> str:
+        """Name of the push kernel this engine resolved to."""
+        return self._kernel_spec.name
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Gossip state precision this engine runs at."""
+        return self._dtype
+
+    @property
+    def _groups(self):
+        """Padded sampling groups (compatibility accessor for tests)."""
+        return self._plan.groups
+
+    @property
+    def _k1_nodes(self) -> np.ndarray:
+        return self._plan.k1_nodes
+
     # -- target selection -------------------------------------------------------
 
     def _choose_targets(self, active: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -185,40 +184,17 @@ class SparseGossipEngine:
         times with *distinct* targets, uniformly over the
         ``k_i``-subsets of its neighbourhood.
         """
-        graph = self._graph
-        indptr, indices = graph.indptr, graph.indices
-        degrees = graph.degrees
-        rng = self._rng
-        sender_chunks: List[np.ndarray] = []
-        target_chunks: List[np.ndarray] = []
+        return self._plan.sample_subset(self._rng, active)
 
-        k1 = self._k1_nodes[active[self._k1_nodes]]
-        if k1.size:
-            # integers() is exact: offsets are in [0, degree) by
-            # construction (float scaling could round up to degree).
-            offsets = rng.integers(degrees[k1])
-            target_chunks.append(indices[indptr[k1] + offsets])
-            sender_chunks.append(k1)
-
-        for group in self._groups:
-            rows = np.flatnonzero(active[group.nodes])
-            if not rows.size:
-                continue
-            k = group.k
-            keys = group.keys[: rows.size]
-            rng.random(out=keys)
-            keys[group.invalid[rows]] = np.inf
-            # The k smallest iid-uniform keys per row select a uniform
-            # random k-subset of that row's (distinct) valid neighbours.
-            chosen_cols = np.argpartition(keys, k - 1, axis=1)[:, :k]
-            chosen = group.padded_neighbors[rows[:, None], chosen_cols]
-            target_chunks.append(chosen.ravel())
-            sender_chunks.append(np.repeat(group.nodes[rows], k))
-
-        if not sender_chunks:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        return np.concatenate(sender_chunks), np.concatenate(target_chunks)
+    def _kernel_for(self, num_cols: int):
+        """Kernel instance for a ``num_cols``-wide state (cached per width)."""
+        kernel = self._kernels.get(num_cols)
+        if kernel is None:
+            kernel = self._kernel_spec.factory(
+                self._plan, self._inv_k_plus_one, num_cols, self._dtype
+            )
+            self._kernels[num_cols] = kernel
+        return kernel
 
     # -- main loop ----------------------------------------------------------------
 
@@ -243,15 +219,15 @@ class SparseGossipEngine:
         """
         graph = self._graph
         n = graph.num_nodes
-        value = _as_state_matrix(values, n, "values")
-        weight = _as_state_matrix(weights, n, "weights")
+        value = _as_state_matrix(values, n, "values", dtype=self._dtype)
+        weight = _as_state_matrix(weights, n, "weights", dtype=self._dtype)
         d = value.shape[1]
         if weight.shape != value.shape:
             raise ValueError(f"weights shape {weight.shape} != values shape {value.shape}")
         names: List[str] = ["value", "weight"]
         columns: List[np.ndarray] = [value, weight]
         for name, extra in (extras or {}).items():
-            matrix = _as_state_matrix(extra, n, f"extras[{name}]")
+            matrix = _as_state_matrix(extra, n, f"extras[{name}]", dtype=self._dtype)
             if matrix.shape != value.shape:
                 raise ValueError(
                     f"extras[{name}] shape {matrix.shape} != values shape {value.shape}"
@@ -267,23 +243,73 @@ class SparseGossipEngine:
         slices = {name: slice(i * d, (i + 1) * d) for i, name in enumerate(names)}
         total_cols = state.shape[1]
 
-        initial_mass = {name: float(state[:, sl].sum()) for name, sl in slices.items()}
+        initial_mass = {
+            name: float(state[:, sl].sum(dtype=np.float64)) for name, sl in slices.items()
+        }
         live_components = state[:, slices["weight"]].sum(axis=0) != 0.0
+        all_live = bool(live_components.all())
         if warmup_steps is None:
             warmup_steps = int(np.ceil(np.log2(max(2, n)))) + 1
         protocol = ConvergenceProtocol(
             graph, xi, num_components=d, patience=patience, warmup_steps=warmup_steps
         )
-        previous_ratios = ratios(state[:, slices["value"]], state[:, slices["weight"]])
-        ever_defined = state[:, slices["weight"]] != 0.0
         history: Optional[List[np.ndarray]] = [] if track_history else None
 
-        inv_k_plus_one = self._inv_k_plus_one
-        scale = self._scale
-        shares_buf = np.empty((self._max_pushes, total_cols), dtype=np.float64)
-        push_messages = 0
-        protocol_messages = int(graph.degrees.sum()) if self._degree_announcements else 0
+        kernel = self._kernel_for(total_cols)
         degrees = graph.degrees
+        eligible = degrees > 0
+        eligible_count = self._plan.eligible_count
+        mass_rtol = mass_rtol_for(self._dtype)
+        mass_bound = {
+            name: mass_rtol * max(abs(initial_mass[name]), 1.0) * max(1.0, np.sqrt(n * d))
+            for name in names
+        }
+
+        # Reusable bookkeeping buffers: the ratio matrices ping-pong
+        # between steps, everything else is overwritten in full each
+        # round. All derived quantities are float64 regardless of the
+        # state dtype (the stop protocol is control flow, not mass).
+        ratio_a = np.full((n, d), UNDEFINED_RATIO, dtype=np.float64)
+        ratio_b = np.empty((n, d), dtype=np.float64)
+        deviation_matrix = np.empty((n, d), dtype=np.float64)
+        deviations = np.empty(n, dtype=np.float64)
+        defined_now = np.empty((n, d), dtype=bool)
+        not_defined = np.empty((n, d), dtype=bool)
+        drained = np.empty((n, d), dtype=bool)
+        heard_external = np.empty(n, dtype=bool)
+        active_buf = np.empty(n, dtype=bool)
+        not_stopped = np.empty(n, dtype=bool)
+
+        def compute_ratios(out: np.ndarray) -> bool:
+            # Same operations as state.ratios(): fill the sentinel, then
+            # a masked divide. The quotient is computed at state
+            # precision and stored float64, so float32 runs carry
+            # float32-accurate ratios — bounded by the dtype-drift
+            # parity tests, and well inside any practical xi.
+            value_view = state[:, slices["value"]]
+            weight_view = state[:, slices["weight"]]
+            np.not_equal(weight_view, 0.0, out=defined_now)
+            if defined_now.all():
+                # No zero weights: a plain divide writes every slot the
+                # masked divide would, so the sentinel fill is dead work.
+                np.divide(value_view, weight_view, out=out)
+                return True
+            out.fill(UNDEFINED_RATIO)
+            np.divide(value_view, weight_view, out=out, where=defined_now)
+            return False
+
+        all_defined = compute_ratios(ratio_a)
+        previous_ratios = ratio_a
+        new_ratios = ratio_b
+        ever_defined = defined_now.copy()
+        # Once every weight is non-zero, ever_defined is all-True and
+        # the drained/ratio_defined algebra below is constant: the flag
+        # lets the common case (weights initialised positive everywhere)
+        # skip it entirely. Decisions are identical either way.
+        ever_defined_all = bool(all_defined)
+
+        push_messages = 0
+        protocol_messages = int(degrees.sum()) if self._degree_announcements else 0
         active_node_steps = 0
         steps = 0
 
@@ -292,57 +318,71 @@ class SparseGossipEngine:
                 if run_to_max:
                     break
                 raise ConvergenceError(steps, protocol.num_unconverged)
-            active = ~protocol.stopped & (degrees > 0)
             if run_to_max:
-                active = degrees > 0
-            senders, targets = self._choose_targets(active)
-            if self._loss_model is not None:
-                effective_targets = self._loss_model.apply(senders, targets)
+                active = eligible
+                active_count = eligible_count
             else:
-                effective_targets = targets
-            push_messages += int(senders.size)
-            active_node_steps += int(active.sum())
+                np.logical_not(protocol.stopped, out=not_stopped)
+                active = np.logical_and(eligible, not_stopped, out=active_buf)
+                active_count = int(active.sum())
+            active_node_steps += active_count
 
-            # Shares come from the pre-split state; the scale pass then
-            # leaves exactly the self-share behind at every active node.
-            shares = shares_buf[: senders.size]
-            np.multiply(state[senders], inv_k_plus_one[senders, None], out=shares)
-            scale.fill(1.0)
-            scale[active] = inv_k_plus_one[active]
-            state *= scale[:, None]
-            for c in range(total_cols):
-                state[:, c] += np.bincount(
-                    effective_targets, weights=shares[:, c], minlength=n
-                )
-
-            heard_external = np.zeros(n, dtype=bool)
-            external = effective_targets[effective_targets != senders]
-            heard_external[external] = True
-
-            defined_now = state[:, slices["weight"]] != 0.0
-            ever_defined |= defined_now
-            new_ratios = ratios(state[:, slices["value"]], state[:, slices["weight"]])
-            drained = ever_defined & ~defined_now
-            if drained.any():
-                new_ratios[drained] = previous_ratios[drained]
-            if live_components.all():
-                ratio_defined = ever_defined.all(axis=1)
-            else:
-                ratio_defined = ever_defined[:, live_components].all(axis=1)
-            newly_converged = protocol.observe(
-                deviation_vector(new_ratios, previous_ratios), heard_external, ratio_defined
+            state, num_pushes = kernel.step(
+                state,
+                active,
+                all_active=active_count == eligible_count,
+                rng=self._rng,
+                loss_model=self._loss_model,
+                heard_out=heard_external,
             )
+            push_messages += num_pushes
+
+            all_defined = compute_ratios(new_ratios)
+            if all_defined:
+                # Every cell defined this step: nothing can have
+                # drained (drained = ever_defined & ~defined_now is
+                # empty), and the defined mask observe needs is
+                # all-True (None in its calling convention).
+                if not ever_defined_all:
+                    ever_defined[:] = True
+                    ever_defined_all = True
+                ratio_defined = None
+            else:
+                ever_defined |= defined_now
+                np.logical_not(defined_now, out=not_defined)
+                np.logical_and(ever_defined, not_defined, out=drained)
+                if drained.any():
+                    # A cell whose weight underflowed to zero keeps its
+                    # last defined ratio instead of snapping to the
+                    # sentinel.
+                    new_ratios[drained] = previous_ratios[drained]
+                if all_live:
+                    # (n, 1) column view == .all(axis=1) minus the reduce.
+                    ratio_defined = ever_defined[:, 0] if d == 1 else ever_defined.all(axis=1)
+                else:
+                    ratio_defined = ever_defined[:, live_components].all(axis=1)
+
+            if d == 1:
+                np.subtract(new_ratios[:, 0], previous_ratios[:, 0], out=deviations)
+                np.abs(deviations, out=deviations)
+            else:
+                np.subtract(new_ratios, previous_ratios, out=deviation_matrix)
+                np.abs(deviation_matrix, out=deviation_matrix)
+                np.sum(deviation_matrix, axis=1, out=deviations)
+            newly_converged = protocol.observe(deviations, heard_external, ratio_defined)
             if newly_converged.size:
                 protocol_messages += int(degrees[newly_converged].sum())
-            previous_ratios = new_ratios
+            previous_ratios, new_ratios = new_ratios, previous_ratios
             if history is not None:
-                history.append(new_ratios.copy())
+                history.append(previous_ratios.copy())
             steps += 1
 
+            # Per-slice strided sums: ~13x faster than one
+            # state.sum(axis=0) pass (numpy's axis-0 reduce over a
+            # C-order matrix is a slow strided inner loop).
             for name, sl in slices.items():
-                total = float(state[:, sl].sum())
-                mass_scale = max(abs(initial_mass[name]), 1.0)
-                if abs(total - initial_mass[name]) > MASS_RTOL * mass_scale * max(1.0, np.sqrt(n * d)):
+                total = float(state[:, sl].sum(dtype=np.float64))
+                if abs(total - initial_mass[name]) > mass_bound[name]:
                     raise MassConservationError(
                         f"component {name!r} mass drifted from {initial_mass[name]!r} to {total!r} at step {steps}"
                     )

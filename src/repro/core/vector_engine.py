@@ -32,15 +32,17 @@ from repro.core.convergence import ConvergenceProtocol, deviation_vector
 from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
 from repro.core.results import GossipOutcome
-from repro.core.state import MASS_RTOL, ratios
+from repro.core.state import mass_rtol_for, ratios, resolve_state_dtype
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
 from repro.utils.rng import RngLike, as_generator
 
 
-def _as_state_matrix(array: np.ndarray, num_nodes: int, name: str) -> np.ndarray:
-    """Coerce a per-node state array to float64 ``(N, d)`` shape."""
-    out = np.array(array, dtype=np.float64, copy=True)
+def _as_state_matrix(
+    array: np.ndarray, num_nodes: int, name: str, dtype=np.float64
+) -> np.ndarray:
+    """Coerce a per-node state array to a ``(N, d)`` matrix of ``dtype``."""
+    out = np.array(array, dtype=dtype, copy=True)
     if out.ndim == 1:
         out = out.reshape(-1, 1)
     if out.ndim != 2 or out.shape[0] != num_nodes:
@@ -63,6 +65,11 @@ class VectorGossipEngine:
         Optional churn/packet-loss model applied to every push.
     rng:
         Seed / generator for target selection.
+    dtype:
+        Gossip state precision (:data:`repro.core.state.SUPPORTED_STATE_DTYPES`).
+        ``float32`` halves state memory traffic; ``float64`` (default)
+        is the correctness reference. Anything else raises
+        :class:`repro.core.errors.UnsupportedDtypeError`.
 
     Examples
     --------
@@ -84,8 +91,10 @@ class VectorGossipEngine:
         loss_model: Optional[PacketLossModel] = None,
         rng: RngLike = None,
         degree_announcements: Optional[bool] = None,
+        dtype=np.float64,
     ):
         self._graph = graph
+        self._dtype = resolve_state_dtype(dtype)
         # The differential rule needs each node to learn its neighbours'
         # degrees, which costs one push per directed edge at round start.
         # Fixed-count baselines (normal push) skip that exchange.
@@ -218,8 +227,8 @@ class VectorGossipEngine:
         graph = self._graph
         n = graph.num_nodes
         state: Dict[str, np.ndarray] = {
-            "value": _as_state_matrix(values, n, "values"),
-            "weight": _as_state_matrix(weights, n, "weights"),
+            "value": _as_state_matrix(values, n, "values", dtype=self._dtype),
+            "weight": _as_state_matrix(weights, n, "weights", dtype=self._dtype),
         }
         d = state["value"].shape[1]
         if state["weight"].shape != state["value"].shape:
@@ -227,7 +236,7 @@ class VectorGossipEngine:
                 f"weights shape {state['weight'].shape} != values shape {state['value'].shape}"
             )
         for name, extra in (extras or {}).items():
-            matrix = _as_state_matrix(extra, n, f"extras[{name}]")
+            matrix = _as_state_matrix(extra, n, f"extras[{name}]", dtype=self._dtype)
             if matrix.shape != state["value"].shape:
                 raise ValueError(
                     f"extras[{name}] shape {matrix.shape} != values shape {state['value'].shape}"
@@ -236,7 +245,10 @@ class VectorGossipEngine:
                 raise ValueError(f"extra component name {name!r} is reserved")
             state[name] = matrix
 
-        initial_mass = {name: float(component.sum()) for name, component in state.items()}
+        initial_mass = {
+            name: float(component.sum(dtype=np.float64)) for name, component in state.items()
+        }
+        mass_rtol = mass_rtol_for(self._dtype)
         # Components whose total weight mass is zero can never define a
         # ratio anywhere; they stay at the sentinel and are excluded from
         # the "ratio defined" requirement below.
@@ -257,7 +269,9 @@ class VectorGossipEngine:
         ever_defined = state["weight"] != 0.0
         history: Optional[List[np.ndarray]] = [] if track_history else None
 
-        k_plus_one = (self._push_counts + 1).astype(np.float64).reshape(-1, 1)
+        # Share divisors at state precision: mixing float64 divisors into
+        # float32 state would silently upcast the share arithmetic.
+        k_plus_one = (self._push_counts + 1).astype(self._dtype).reshape(-1, 1)
         push_messages = 0
         # Degree announcements: one message per directed edge at round start.
         protocol_messages = int(graph.degrees.sum()) if self._degree_announcements else 0
@@ -315,9 +329,9 @@ class VectorGossipEngine:
             steps += 1
 
             for name, component in state.items():
-                total = float(component.sum())
+                total = float(component.sum(dtype=np.float64))
                 scale = max(abs(initial_mass[name]), 1.0)
-                if abs(total - initial_mass[name]) > MASS_RTOL * scale * max(1.0, np.sqrt(n * d)):
+                if abs(total - initial_mass[name]) > mass_rtol * scale * max(1.0, np.sqrt(n * d)):
                     raise MassConservationError(
                         f"component {name!r} mass drifted from {initial_mass[name]!r} to {total!r} at step {steps}"
                     )

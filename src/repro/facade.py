@@ -166,7 +166,13 @@ def aggregate(
     config:
         Shared knobs of the round
         (:class:`repro.core.backend.GossipConfig`); defaults apply when
-        omitted.
+        omitted. Includes the performance knobs: ``dtype`` ("float32"
+        halves state traffic on the dense/sparse/sharded engines;
+        float64-only backends raise
+        :class:`repro.core.errors.UnsupportedDtypeError` rather than
+        silently casting), ``kernel`` (sparse-engine push kernel) and
+        ``shard_workers`` (sharded executor/worker knob — see
+        :doc:`docs/performance.md <../docs/performance>`).
     backend:
         Registered backend name, or ``"auto"`` (message → dense →
         sparse by node count/density).

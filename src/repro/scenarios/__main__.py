@@ -41,7 +41,13 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="sharded backend: worker process count (outcomes are identical for any value)",
+        help="sharded backend: worker count (outcomes are identical for any value)",
+    )
+    run_parser.add_argument(
+        "--executor",
+        choices=("inline", "threads", "processes"),
+        default=None,
+        help="sharded backend: shard executor (outcomes are identical for any choice)",
     )
     args = parser.parse_args(argv)
 
@@ -60,7 +66,12 @@ def main(argv=None) -> int:
 
     for name in names:
         result = run_scenario(
-            name, small=args.small, seed=args.seed, backend=args.backend, workers=args.workers
+            name,
+            small=args.small,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            executor=args.executor,
         )
         print(result.to_text())
         print()

@@ -1,0 +1,38 @@
+"""Host-capability probes shared by backend selection and executors.
+
+Scheduling policy (which backend, how many workers) must be driven by
+the CPUs a process can *actually use* — a container pinned to one core
+of a 64-core host should behave like a 1-core machine. Python grew
+``os.process_cpu_count`` for exactly this in 3.13; this module provides
+the same semantics across the versions the repo supports.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def usable_cpu_count() -> int:
+    """CPUs usable by this process (affinity/cgroup-aware), at least 1.
+
+    Resolution order:
+
+    1. ``os.process_cpu_count()`` (Python 3.13+) — affinity-aware by
+       definition;
+    2. ``len(os.sched_getaffinity(0))`` — the affinity mask on Linux;
+    3. ``os.cpu_count()`` — raw host count, the last resort.
+
+    Examples
+    --------
+    >>> usable_cpu_count() >= 1
+    True
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return max(1, int(count))
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)

@@ -229,14 +229,16 @@ class TestAutoSelection:
         cols[1::2] = np.maximum(a, b)
         return Graph.from_csr(n, 2 * np.arange(n + 1, dtype=np.int64), cols, validate=False)
 
-    def test_loss_model_config_falls_back_to_sparse_at_sharded_scale(self):
+    def test_loss_model_config_falls_back_to_sparse_at_sharded_scale(self, monkeypatch):
         # Regression (satellite of the adversary-engine PR): the sharded
         # engine cannot split an explicit PacketLossModel generator
         # across shards, so the auto policy must keep such configs on
         # the single-process sparse engine instead of escalating into a
         # BackendCapabilityError...
+        import repro.core.backend as backend_mod
         from repro.network.churn import PacketLossModel
 
+        monkeypatch.setattr(backend_mod, "usable_cpu_count", lambda: 4)
         ring = self._sharded_scale_ring()
         assert choose_backend_name(ring) == "sharded"
         lossy = GossipConfig(loss_model=PacketLossModel(0.2, rng=0))

@@ -232,10 +232,115 @@ class TestShardedEngine:
         assert engine.num_shards == min(DEFAULT_NUM_SHARDS, 60)
 
 
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["threads", "processes"])
+    def test_byte_identical_across_executors(self, pa_graph_medium, executor):
+        values = np.random.default_rng(3).random(300)
+        outcomes = []
+        for workers in ("inline", executor):
+            config = GossipConfig(xi=1e-8, rng=42, num_shards=4, shard_workers=workers)
+            outcomes.append(
+                run_backend(pa_graph_medium, values, np.ones(300), config=config, backend="sharded")
+            )
+        inline, other = outcomes
+        np.testing.assert_array_equal(inline.values, other.values)
+        np.testing.assert_array_equal(inline.weights, other.weights)
+        assert inline.steps == other.steps
+        assert inline.push_messages == other.push_messages
+        np.testing.assert_array_equal(inline.converged, other.converged)
+
+    def test_threads_executor_byte_identical_under_loss(self, pa_graph_medium):
+        values = np.random.default_rng(5).random(300)
+        outcomes = []
+        for executor in ("inline", "threads"):
+            engine = ShardedGossipEngine(
+                pa_graph_medium, rng=11, num_shards=4, executor=executor,
+                loss_probability=0.25,
+            )
+            outcomes.append(engine.run(values, np.ones(300), xi=1e-8))
+        np.testing.assert_array_equal(outcomes[0].values, outcomes[1].values)
+        assert outcomes[0].push_messages == outcomes[1].push_messages
+
+    def test_executor_resolution_and_validation(self, pa_graph_small):
+        assert ShardedGossipEngine(pa_graph_small, rng=0).executor == "inline"
+        assert (
+            ShardedGossipEngine(pa_graph_small, rng=0, num_workers=2).executor
+            == "processes"
+        )
+        assert (
+            ShardedGossipEngine(pa_graph_small, rng=0, executor="threads").executor
+            == "threads"
+        )
+        with pytest.raises(ValueError, match="executor"):
+            ShardedGossipEngine(pa_graph_small, rng=0, executor="fibers")
+        with pytest.raises(ValueError, match="inline"):
+            ShardedGossipEngine(pa_graph_small, rng=0, executor="inline", num_workers=2)
+
+    def test_config_accepts_executor_names(self):
+        for name in ("inline", "threads", "processes"):
+            assert GossipConfig(shard_workers=name).shard_workers == name
+        with pytest.raises(ValueError, match="shard_workers"):
+            GossipConfig(shard_workers="fibers")
+
+    def test_phase_timings_populated(self, pa_graph_small):
+        engine = ShardedGossipEngine(pa_graph_small, rng=2, num_shards=3)
+        assert engine.last_phase_timings is None
+        outcome = engine.run(np.arange(60.0), np.ones(60), xi=1e-6)
+        timings = engine.last_phase_timings
+        assert timings["steps"] == outcome.steps
+        for key in (
+            "sample_seconds",
+            "build_contributions_seconds",
+            "phase_a_wall_seconds",
+            "halo_merge_seconds",
+            "convergence_seconds",
+        ):
+            assert timings[key] >= 0.0
+        assert timings["total_seconds"] > 0.0
+
+
+class TestShardedFloat32:
+    def test_float32_runs_and_tracks_float64(self, pa_graph_medium):
+        values = np.random.default_rng(9).random(300)
+        ref = ShardedGossipEngine(pa_graph_medium, rng=21, num_shards=4).run(
+            values, np.ones(300), xi=1e-6
+        )
+        out = ShardedGossipEngine(
+            pa_graph_medium, rng=21, num_shards=4, dtype=np.float32
+        ).run(values, np.ones(300), xi=1e-6)
+        assert out.values.dtype == np.float32
+        est_ref = ref.values[:, 0] / ref.weights[:, 0]
+        est = out.values[:, 0].astype(np.float64) / out.weights[:, 0].astype(np.float64)
+        assert float(np.abs(est - est_ref).max()) < 1e-4
+
+    def test_float32_through_process_pool(self, pa_graph_medium):
+        # Shared-memory sizing is itemsize-aware; a float32 state crossing
+        # the worker boundary must agree with the inline float32 run.
+        values = np.random.default_rng(9).random(300)
+        outcomes = []
+        for executor, workers in (("inline", None), ("processes", 2)):
+            engine = ShardedGossipEngine(
+                pa_graph_medium, rng=21, num_shards=4, dtype=np.float32,
+                executor=executor, num_workers=workers,
+            )
+            outcomes.append(engine.run(values, np.ones(300), xi=1e-6))
+        np.testing.assert_array_equal(outcomes[0].values, outcomes[1].values)
+        assert outcomes[0].steps == outcomes[1].steps
+
+    def test_unsupported_dtype_rejected(self, pa_graph_small):
+        from repro.core.errors import UnsupportedDtypeError
+
+        with pytest.raises(UnsupportedDtypeError):
+            ShardedGossipEngine(pa_graph_small, rng=0, dtype=np.int64)
+
+
 class TestAutoEscalation:
-    def test_auto_picks_sharded_beyond_sparse_ceiling(self):
+    def test_auto_picks_sharded_beyond_sparse_ceiling(self, monkeypatch):
+        import repro.core.backend as backend_mod
         from repro.core.backend import AUTO_SPARSE_MAX_NODES, choose_backend_name
 
+        # Escalation needs real parallelism headroom; pretend we have it.
+        monkeypatch.setattr(backend_mod, "usable_cpu_count", lambda: 4)
         big_ring = ring_graph(AUTO_SPARSE_MAX_NODES + 1)
         assert choose_backend_name(big_ring) == "sharded"
 
@@ -245,13 +350,26 @@ class TestAutoEscalation:
         ring = ring_graph(AUTO_DENSE_MAX_NODES + 1)
         assert choose_backend_name(ring) == "sparse"
 
-    def test_auto_keeps_explicit_loss_model_configs_on_sparse(self):
+    def test_auto_stays_sparse_on_a_single_core_host(self, monkeypatch):
+        # Regression: on a 1-CPU host the sharded engine's worker pool
+        # cannot outrun the single-process sparse engine (~0.4x measured),
+        # so node/edge counts alone must not escalate the auto policy.
+        import repro.core.backend as backend_mod
+        from repro.core.backend import AUTO_SPARSE_MAX_NODES, choose_backend_name
+
+        monkeypatch.setattr(backend_mod, "usable_cpu_count", lambda: 1)
+        big_ring = ring_graph(AUTO_SPARSE_MAX_NODES + 1)
+        assert choose_backend_name(big_ring) == "sparse"
+
+    def test_auto_keeps_explicit_loss_model_configs_on_sparse(self, monkeypatch):
         # The sharded backend rejects explicit PacketLossModel instances
         # (unsplittable generator state); "auto" must not escalate such
         # configs into a capability error on huge graphs.
+        import repro.core.backend as backend_mod
         from repro.core.backend import AUTO_SPARSE_MAX_NODES, choose_backend_name
         from repro.network.churn import PacketLossModel
 
+        monkeypatch.setattr(backend_mod, "usable_cpu_count", lambda: 4)
         big_ring = ring_graph(AUTO_SPARSE_MAX_NODES + 1)
         config = GossipConfig(loss_model=PacketLossModel(0.1, rng=0))
         assert choose_backend_name(big_ring, config) == "sparse"
@@ -287,12 +405,30 @@ class TestBenchAndScenario:
         from benchmarks.bench_sharded import run_benchmark
 
         record = run_benchmark(
-            4000, m=4, steps=8, short_steps=2, workers=2, shards=4, repeats=1, seed=7
+            4000, m=4, steps=8, short_steps=2, pairs=1, workers=2, shards=4, seed=7
         )
         assert record["benchmark"] == "sharded_vs_sparse"
         assert record["engines"]["sparse"]["steps_per_second"] > 0
-        assert record["engines"]["sharded_w2"]["steps_per_second"] > 0
+        assert record["engines"]["sharded_procs_w2"]["steps_per_second"] > 0
+        # Executor contenders ship the per-phase breakdown.
+        phases = record["engines"]["sharded_threads"]["phase_seconds"]
+        assert phases["steps"] == 8
+        assert phases["halo_merge_seconds"] >= 0.0
         assert isinstance(record["speedup_vs_sparse"], float)
+        assert isinstance(record["threads_vs_inline"], float)
+
+    def test_kernel_bench_smoke(self):
+        from benchmarks.bench_sharded import run_kernel_benchmark
+
+        record = run_kernel_benchmark(
+            4000, m_values=[4], steps=8, short_steps=2, pairs=1, shards=4, seed=7
+        )
+        assert record["benchmark"] == "push_kernels"
+        grid = record["grids"]["m4"]["contenders"]
+        assert grid["sparse/fused/float64"]["speedup_vs_unfused_float64"] > 0
+        assert grid["sparse/fused/float32"]["dtype"] == "float32"
+        assert grid["sharded/threads/float64"]["phase_seconds"]["steps"] == 8
+        assert "sample_seconds" in grid["sharded/inline/float64"]["phase_seconds"]
 
     def test_million_peer_scenario_small_shape(self):
         from repro.scenarios import run_scenario
@@ -309,7 +445,7 @@ class TestBenchAndScenario:
         from benchmarks.bench_sharded import run_benchmark
 
         record = run_benchmark(
-            150_000, m=6, steps=26, short_steps=3, workers=2, shards=8, repeats=1, seed=3
+            150_000, m=6, steps=26, short_steps=3, pairs=1, workers=2, shards=8, seed=3
         )
-        assert record["engines"]["sharded_w2"]["estimates_mean_error"] < 0.02
+        assert record["engines"]["sharded_procs_w2"]["estimates_mean_error"] < 0.02
         assert record["n"] == 150_000
