@@ -29,6 +29,7 @@ from repro.attacks.models import (
     AttackModel,
     CollusionModel,
     ComposedAttack,
+    CrossChannelSlanderModel,
     OnOffModel,
     SlanderingModel,
     SybilFloodModel,
@@ -50,6 +51,7 @@ __all__ = [
     "CollusionImpact",
     "CollusionModel",
     "ComposedAttack",
+    "CrossChannelSlanderModel",
     "OnOffModel",
     "SlanderingModel",
     "SybilFloodModel",

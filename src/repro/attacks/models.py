@@ -17,10 +17,13 @@ backend registry of :mod:`repro.core.backend`:
   one honest baseline, attacks stack (:class:`ComposedAttack`) and any
   ``(seed, epoch)`` replays bit-identically;
 - :func:`register_attack` / :func:`get_attack` / :func:`make_attack` /
-  :func:`available_attacks` manage the registry. Five families ship
+  :func:`available_attacks` manage the registry. Six families ship
   built-in: ``"collusion"``, ``"whitewashing"``, ``"slandering"``
-  (alias ``"bad-mouthing"``), ``"on-off"`` (alias ``"oscillation"``)
-  and ``"sybil"`` (alias ``"sybil-flood"``);
+  (alias ``"bad-mouthing"``), ``"on-off"`` (alias ``"oscillation"``),
+  ``"sybil"`` (alias ``"sybil-flood"``) and
+  ``"cross-channel-slander"`` (alias ``"cross-slander"``, the
+  multi-channel variant that slanders one reputation channel while
+  reporting honestly on the others);
 - :meth:`AttackModel.on_epoch` is the dynamic hook: attacks that act on
   a *live* network (whitewashers cycling identities, sybil join floods,
   oscillating raters) plug into
@@ -271,6 +274,87 @@ class SlanderingModel(AttackModel):
             for victim in victims:
                 poisoned.set(int(slanderer), int(victim), self.value)
         return poisoned, overlay
+
+
+@dataclass(frozen=True)
+class CrossChannelSlanderModel(AttackModel):
+    """Slander one reputation channel, behave honestly on the others.
+
+    Multi-channel gossip (Golem's computing + delegating dual rank)
+    opens an attack surface single-channel systems cannot express: a
+    coalition that bad-mouths its victims on *one* channel while its
+    reports on every other channel stay truthful, so channel-blind
+    report statistics look clean. The coalition and victim set are the
+    seeded :class:`SlanderingModel` cast — same ``(seed → who)``
+    mapping — but the poison lands only on ``target_channel``.
+
+    :meth:`apply_channels` is the multi-channel transform (a sequence
+    of per-channel trust matrices in, a poisoned copy out, untouched
+    channels shared rather than copied). The single-matrix
+    :meth:`apply` treats its one matrix *as* the targeted channel, so
+    the family still composes with every single-channel harness
+    (``attack_impact``, :class:`ComposedAttack`).
+    """
+
+    name: ClassVar[str] = "cross-channel-slander"
+
+    fraction: float = 0.2
+    victim_fraction: float = 0.1
+    value: float = 0.0
+    max_victims: Optional[int] = SlanderingModel.DEFAULT_MAX_VICTIMS
+    target_channel: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_channel < 0:
+            raise ValueError(
+                f"target_channel must be >= 0, got {self.target_channel}"
+            )
+        # Construction validates fraction/victim_fraction/value/max_victims.
+        self._inner()
+
+    def _inner(self) -> SlanderingModel:
+        """The equivalent single-channel slander coalition (same cast)."""
+        return SlanderingModel(
+            fraction=self.fraction,
+            victim_fraction=self.victim_fraction,
+            value=self.value,
+            max_victims=self.max_victims,
+            seed=self.seed,
+        )
+
+    def cast(self, num_nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Seed-determined ``(slanderers, victims)`` — disjoint sets."""
+        return self._inner().cast(num_nodes)
+
+    def apply(self, trust, overlay=None, *, epoch: int = 0) -> WorldTransform:
+        return self._inner().apply(trust, overlay, epoch=epoch)
+
+    def apply_channels(
+        self,
+        channels: "Tuple[TrustMatrix, ...]",
+        overlay: "Optional[MutableOverlay]" = None,
+        *,
+        epoch: int = 0,
+    ) -> "Tuple[Tuple[TrustMatrix, ...], Optional[MutableOverlay]]":
+        """Poison ``target_channel`` of a per-channel trust sequence.
+
+        Channels other than the target are returned as-is (the
+        transform is pure, so sharing the honest matrices is safe).
+        """
+        channels = tuple(channels)
+        if not channels:
+            raise ValueError("channels must contain at least one trust matrix")
+        if self.target_channel >= len(channels):
+            raise ValueError(
+                f"target_channel {self.target_channel} outside the "
+                f"{len(channels)} provided channels"
+            )
+        poisoned = list(channels)
+        poisoned[self.target_channel], overlay = self._inner().apply(
+            poisoned[self.target_channel], overlay, epoch=epoch
+        )
+        return tuple(poisoned), overlay
 
 
 @dataclass(frozen=True)
@@ -644,5 +728,8 @@ def available_attacks() -> Tuple[str, ...]:
 register_attack("collusion", CollusionModel)
 register_attack("whitewashing", WhitewashingAttackModel, aliases=("whitewash",))
 register_attack("slandering", SlanderingModel, aliases=("bad-mouthing", "badmouthing"))
+register_attack(
+    "cross-channel-slander", CrossChannelSlanderModel, aliases=("cross-slander",)
+)
 register_attack("on-off", OnOffModel, aliases=("oscillation", "oscillating"))
 register_attack("sybil", SybilFloodModel, aliases=("sybil-flood",))

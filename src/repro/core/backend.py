@@ -162,6 +162,16 @@ class GossipConfig:
         :class:`repro.core.kernels.KernelUnavailableError`. Backends
         without a kernel layer (including sharded, whose per-shard
         samplers mirror the unfused path) ignore it.
+    num_channels:
+        Number of independent reputation channels ``V`` packed
+        channel-major into the gossiped value columns (the column count
+        must be a multiple of ``V``). All channels share one sampling
+        draw and one scatter per step; convergence is judged per
+        channel (see
+        :class:`repro.core.convergence.ConvergenceProtocol`). The
+        dense, sparse and sharded backends support any ``V``; the
+        message and async backends are single-channel and raise
+        :class:`BackendCapabilityError` for ``V > 1``. Default 1.
 
     Examples
     --------
@@ -191,8 +201,11 @@ class GossipConfig:
     shard_workers: "Optional[int | str]" = None
     dtype: str = "float64"
     kernel: Optional[str] = None
+    num_channels: int = 1
 
     def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {self.num_channels}")
         if self.xi <= 0:
             raise ValueError(f"xi must be positive, got {self.xi}")
         if self.k is not None and self.k < 1:
@@ -294,6 +307,7 @@ class _SynchronousBackend:
 
     name: str = ""
     supports_run_to_max: bool = True
+    supports_channels: bool = True
     _engine_class: Optional[Callable] = None
 
     def _engine_kwargs(self, config: GossipConfig) -> Dict[str, object]:
@@ -339,6 +353,15 @@ class _SynchronousBackend:
             raise BackendCapabilityError(
                 f"backend {self.name!r} does not support run_to_max; use 'dense' or 'sparse'"
             )
+        # The kwarg is only forwarded at V > 1 so single-channel runs
+        # execute the exact historical call (byte-identity contract).
+        if config.num_channels != 1:
+            if not self.supports_channels:
+                raise BackendCapabilityError(
+                    f"backend {self.name!r} gossips a single reputation channel; "
+                    "use 'dense', 'sparse' or 'sharded' for num_channels > 1"
+                )
+            kwargs["num_channels"] = config.num_channels
         return engine.run(values, weights, **kwargs)
 
 
@@ -347,6 +370,7 @@ class MessageBackend(_SynchronousBackend):
 
     name = "message"
     supports_run_to_max = False
+    supports_channels = False
 
     def _engine_kwargs(self, config: GossipConfig) -> Dict[str, object]:
         # The message engine gossips Python-float pairs; there is no
@@ -444,9 +468,7 @@ class ShardedBackend:
             executor=executor,
             dtype=resolve_state_dtype(config.dtype),
         )
-        return engine.run(
-            values,
-            weights,
+        kwargs = dict(
             xi=config.xi,
             extras=extras,
             max_steps=config.max_steps,
@@ -455,6 +477,9 @@ class ShardedBackend:
             patience=config.patience,
             warmup_steps=config.warmup_steps,
         )
+        if config.num_channels != 1:
+            kwargs["num_channels"] = config.num_channels
+        return engine.run(values, weights, **kwargs)
 
 
 class AsyncBackend:
@@ -483,6 +508,11 @@ class AsyncBackend:
         config = config if config is not None else GossipConfig()
         if extras:
             raise BackendCapabilityError("backend 'async' does not support extra components")
+        if config.num_channels != 1:
+            raise BackendCapabilityError(
+                "backend 'async' gossips a single reputation channel; "
+                "use 'dense', 'sparse' or 'sharded' for num_channels > 1"
+            )
         # Event-driven state lives in per-node float64 scalars; there is
         # no float32 mode to run and casting would be silent.
         if resolve_state_dtype(config.dtype) != np.float64:
@@ -639,11 +669,15 @@ def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> 
     graphs the multi-process sharded engine — provided the host has at
     least two usable cores (:func:`repro.utils.hardware.usable_cpu_count`);
     otherwise sharding is pure overhead and sparse stays the pick.
-    Configs that need ``run_to_max`` skip the message engine (it does
-    not support fixed-budget runs).
+    Configs that need ``run_to_max`` or multi-channel state skip the
+    message engine (it supports neither fixed-budget runs nor
+    ``num_channels > 1``).
     """
     n = graph.num_nodes
-    if n <= AUTO_MESSAGE_MAX_NODES and not (config is not None and config.run_to_max):
+    needs_vector_engine = config is not None and (
+        config.run_to_max or config.num_channels != 1
+    )
+    if n <= AUTO_MESSAGE_MAX_NODES and not needs_vector_engine:
         return "message"
     if n <= AUTO_DENSE_MAX_NODES and graph.num_edges <= AUTO_DENSE_MAX_EDGES:
         return "dense"

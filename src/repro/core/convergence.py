@@ -40,6 +40,15 @@ class ConvergenceProtocol:
         with ``d = N``).
     num_components:
         Number of gossiped components ``d`` (1 for Algorithms 1–2).
+    num_channels:
+        Number of independent reputation channels ``V`` the ``d``
+        components are split into (channel-major: components
+        ``[c * d/V, (c+1) * d/V)`` belong to channel ``c``). Each
+        channel runs the paper's eq.-7 test independently against the
+        per-channel threshold ``xi * d/V``; a node announces
+        convergence only once *every* channel has latched, so one
+        converged channel can never stop a straggler channel. The
+        default 1 is the single-channel protocol of the paper.
     patience:
         Number of *consecutive* satisfied checks required before a node
         announces convergence. The paper announces on the first
@@ -69,18 +78,27 @@ class ConvergenceProtocol:
         xi: float,
         *,
         num_components: int = 1,
+        num_channels: int = 1,
         patience: int = 1,
         warmup_steps: int = 0,
     ):
         check_positive(xi, "xi")
         if num_components < 1:
             raise ValueError(f"num_components must be >= 1, got {num_components}")
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        if num_components % num_channels:
+            raise ValueError(
+                f"num_components ({num_components}) must be a multiple of "
+                f"num_channels ({num_channels})"
+            )
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
         if warmup_steps < 0:
             raise ValueError(f"warmup_steps must be >= 0, got {warmup_steps}")
         self._xi = float(xi)
-        self._threshold = float(xi) * num_components
+        self._num_channels = int(num_channels)
+        self._threshold = float(xi) * (num_components // num_channels)
         self._patience = int(patience)
         self._warmup_steps = int(warmup_steps)
         self._bind(graph)
@@ -104,17 +122,29 @@ class ConvergenceProtocol:
         self._observed_steps = 0
         n = graph.num_nodes
         self._converged = np.zeros(n, dtype=bool)
-        self._satisfied_streak = np.zeros(n, dtype=np.int64)
         self._converged_neighbor_count = np.zeros(n, dtype=np.int64)
         isolated = self._degrees == 0
         self._converged[isolated] = True
         self._isolated = isolated
         self._stopped = isolated.copy()
         # Reusable per-step scratch (observe runs every gossip round;
-        # at large N the boolean temporaries dominate its cost).
-        self._satisfied = np.empty(n, dtype=bool)
-        self._failed = np.empty(n, dtype=bool)
-        self._scratch = np.empty(n, dtype=bool)
+        # at large N the boolean temporaries dominate its cost). With
+        # V > 1 channels the streak/satisfied/failed state is kept per
+        # (node, channel); the single-channel layout is untouched.
+        if self._num_channels == 1:
+            self._satisfied_streak = np.zeros(n, dtype=np.int64)
+            self._satisfied = np.empty(n, dtype=bool)
+            self._failed = np.empty(n, dtype=bool)
+            self._scratch = np.empty(n, dtype=bool)
+        else:
+            V = self._num_channels
+            self._satisfied_streak = np.zeros((n, V), dtype=np.int64)
+            self._channel_converged = np.zeros((n, V), dtype=bool)
+            self._channel_converged[isolated, :] = True
+            self._satisfied = np.empty((n, V), dtype=bool)
+            self._failed = np.empty((n, V), dtype=bool)
+            self._scratch = np.empty((n, V), dtype=bool)
+            self._node_scratch = np.empty(n, dtype=bool)
 
     def rebind(self, graph: Graph) -> None:
         """Re-target the protocol at a new topology, resetting all state.
@@ -138,8 +168,27 @@ class ConvergenceProtocol:
 
     @property
     def threshold(self) -> float:
-        """Per-node deviation threshold (``xi * num_components``)."""
+        """Per-channel deviation threshold (``xi * num_components / num_channels``)."""
         return self._threshold
+
+    @property
+    def num_channels(self) -> int:
+        """Number of independent reputation channels ``V``."""
+        return self._num_channels
+
+    @property
+    def channel_converged(self) -> np.ndarray:
+        """``(N, V)`` per-channel convergence latches (read-only).
+
+        With a single channel this is the node-level ``converged`` mask
+        viewed as an ``(N, 1)`` column.
+        """
+        if self._num_channels == 1:
+            view = self._converged.reshape(-1, 1).view()
+        else:
+            view = self._channel_converged.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def converged(self) -> np.ndarray:
@@ -180,7 +229,9 @@ class ConvergenceProtocol:
         deviations:
             Per-node total estimate movement this step
             (``sum_j |ratio_j(n) - ratio_j(n-1)|``; plain absolute
-            difference when ``d = 1``).
+            difference when ``d = 1``). With ``num_channels > 1`` this
+            is the ``(N, V)`` per-channel movement matrix
+            (:func:`channel_deviations`).
         heard_external:
             Boolean mask — node received at least one gossip pair from a
             node other than itself this step (the ``|S| > 1`` guard).
@@ -197,6 +248,8 @@ class ConvergenceProtocol:
         numpy.ndarray
             Ids of nodes that *newly* announced convergence this step.
         """
+        if self._num_channels > 1:
+            return self._observe_channels(deviations, heard_external, ratio_defined)
         deviations = np.asarray(deviations, dtype=np.float64)
         heard_external = np.asarray(heard_external, dtype=bool)
         n = self._graph.num_nodes
@@ -243,6 +296,70 @@ class ConvergenceProtocol:
         self._refresh_stopped()
         return newly
 
+    def _observe_channels(
+        self,
+        deviations: np.ndarray,
+        heard_external: np.ndarray,
+        ratio_defined: "np.ndarray | None",
+    ) -> np.ndarray:
+        """Multi-channel :meth:`observe`: per-channel eq.-7 latches.
+
+        Each channel keeps its own satisfied streak and, once it has
+        held ``patience`` consecutive satisfied checks, latches
+        converged — permanently, mirroring the single-channel announce.
+        The *node* announces (and starts counting toward the
+        neighbourhood stop rule) only when all ``V`` of its channels
+        have latched, so a straggler channel keeps the whole node
+        gossiping.
+        """
+        deviations = np.asarray(deviations, dtype=np.float64)
+        heard_external = np.asarray(heard_external, dtype=bool)
+        n = self._graph.num_nodes
+        V = self._num_channels
+        if deviations.shape != (n, V) or heard_external.shape != (n,):
+            raise ValueError(
+                f"expected ({n}, {V}) deviations and ({n},) heard mask, "
+                f"got {deviations.shape} and {heard_external.shape}"
+            )
+        self._observed_steps += 1
+        satisfied = self._satisfied
+        not_latched = self._scratch
+        np.less_equal(deviations, self._threshold, out=satisfied)
+        satisfied &= heard_external[:, None]
+        np.logical_not(self._channel_converged, out=not_latched)
+        satisfied &= not_latched
+        if ratio_defined is not None:
+            ratio_defined = np.asarray(ratio_defined, dtype=bool)
+            if ratio_defined.shape == (n,):
+                satisfied &= ratio_defined[:, None]
+            elif ratio_defined.shape == (n, V):
+                satisfied &= ratio_defined
+            else:
+                raise ValueError(
+                    f"ratio_defined must have shape ({n},) or ({n}, {V}), "
+                    f"got {ratio_defined.shape}"
+                )
+        if self._observed_steps <= self._warmup_steps:
+            satisfied[:] = False
+        failed = self._failed
+        np.logical_not(satisfied, out=failed)
+        failed &= heard_external[:, None]
+        failed &= not_latched
+        np.add(self._satisfied_streak, 1, out=self._satisfied_streak, where=satisfied)
+        np.copyto(self._satisfied_streak, 0, where=failed)
+        latched = self._scratch  # not_latched is dead past this point
+        np.greater_equal(self._satisfied_streak, self._patience, out=latched)
+        latched &= satisfied
+        self._channel_converged |= latched
+        node_ready = self._node_scratch
+        np.all(self._channel_converged, axis=1, out=node_ready)
+        node_ready &= ~self._converged
+        newly = np.flatnonzero(node_ready)
+        if newly.size:
+            self._announce(newly)
+        self._refresh_stopped()
+        return newly
+
     def _announce(self, nodes: Iterable[int]) -> None:
         """Mark ``nodes`` converged and notify their neighbours."""
         node_array = np.asarray(list(nodes), dtype=np.int64)
@@ -284,3 +401,33 @@ def deviation_vector(new_ratios: np.ndarray, old_ratios: np.ndarray) -> np.ndarr
     if new_ratios.ndim != 2:
         raise ValueError(f"expected (N, d) ratios, got shape {new_ratios.shape}")
     return np.abs(new_ratios - old_ratios).sum(axis=1)
+
+
+def channel_deviations(
+    new_ratios: np.ndarray, old_ratios: np.ndarray, num_channels: int
+) -> np.ndarray:
+    """Per-node, per-channel estimate movement for multi-channel gossip.
+
+    The ``(N, d)`` ratio matrix is channel-major — channel ``c`` owns
+    columns ``[c * d/V, (c+1) * d/V)`` — so the eq.-7 sum restricted to
+    one channel is a reshape-and-reduce.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(N, V)`` absolute movement summed within each channel.
+    """
+    new_ratios = np.asarray(new_ratios)
+    old_ratios = np.asarray(old_ratios)
+    if new_ratios.ndim != 2:
+        raise ValueError(f"expected (N, d) ratios, got shape {new_ratios.shape}")
+    n, d = new_ratios.shape
+    if num_channels < 1 or d % num_channels:
+        raise ValueError(
+            f"num_channels ({num_channels}) must divide the component count ({d})"
+        )
+    return (
+        np.abs(new_ratios - old_ratios)
+        .reshape(n, num_channels, d // num_channels)
+        .sum(axis=2)
+    )

@@ -60,22 +60,22 @@ def _numba_available() -> bool:
     return NUMBA_AVAILABLE
 
 
-def _make_numba(plan, inv_k_plus_one, num_cols, dtype):
+def _make_numba(plan, inv_k_plus_one, num_cols, dtype, num_channels=1):
     from repro.core.kernels.numba_kernel import NumbaFusedKernel
 
-    return NumbaFusedKernel(plan, inv_k_plus_one, num_cols, dtype)
+    return NumbaFusedKernel(plan, inv_k_plus_one, num_cols, dtype, num_channels=num_channels)
 
 
-def _make_fused(plan, inv_k_plus_one, num_cols, dtype):
+def _make_fused(plan, inv_k_plus_one, num_cols, dtype, num_channels=1):
     from repro.core.kernels.numpy_kernels import FusedNumpyKernel
 
-    return FusedNumpyKernel(plan, inv_k_plus_one, num_cols, dtype)
+    return FusedNumpyKernel(plan, inv_k_plus_one, num_cols, dtype, num_channels=num_channels)
 
 
-def _make_unfused(plan, inv_k_plus_one, num_cols, dtype):
+def _make_unfused(plan, inv_k_plus_one, num_cols, dtype, num_channels=1):
     from repro.core.kernels.numpy_kernels import UnfusedNumpyKernel
 
-    return UnfusedNumpyKernel(plan, inv_k_plus_one, num_cols, dtype)
+    return UnfusedNumpyKernel(plan, inv_k_plus_one, num_cols, dtype, num_channels=num_channels)
 
 
 @dataclass(frozen=True)
@@ -150,10 +150,18 @@ def create_kernel(
     inv_k_plus_one,
     num_cols: int,
     dtype,
+    num_channels: int = 1,
 ):
-    """Select and instantiate a kernel over ``plan``."""
+    """Select and instantiate a kernel over ``plan``.
+
+    ``num_channels`` is the number of independent reputation channels
+    packed into each gossiped component; kernels use it only to widen
+    perf heuristics (the combined-bincount column cutoff scales with
+    it) — the arithmetic is channel-oblivious and byte-identical for
+    any value.
+    """
     spec = select_kernel(name)
-    return spec.factory(plan, inv_k_plus_one, num_cols, dtype)
+    return spec.factory(plan, inv_k_plus_one, num_cols, dtype, num_channels=num_channels)
 
 
 register_kernel(

@@ -55,10 +55,13 @@ import numpy as np
 
 from repro.core.kernels.plan import PushPlan
 
-#: Widest state matrix still scattered with the single combined
-#: bincount; beyond this the ``(P, C)`` int64 key buffer costs more than
-#: the strided passes it saves, so the kernel falls back to per-column
-#: bincounts.
+#: Widest *per-channel* state still scattered with the single combined
+#: bincount; beyond ``COMBINED_BINCOUNT_MAX_COLS * num_channels`` total
+#: columns the ``(P, C)`` int64 key buffer costs more than the strided
+#: passes it saves, so the kernel falls back to per-column bincounts.
+#: Multi-channel state widens the cutoff proportionally: V channels of a
+#: d-wide workload are exactly V single-channel workloads sharing one
+#: scatter, so the per-channel buffer economics are unchanged.
 COMBINED_BINCOUNT_MAX_COLS = 4
 
 
@@ -70,15 +73,16 @@ def scatter_add_shares(
 ) -> None:
     """Scatter-add ``shares[p]`` into ``state[targets[p]]`` for all pushes.
 
-    With a key buffer and few columns, all C columns go through one
-    ``bincount`` over combined ``target * C + column`` keys. The flat
+    With a key buffer, all C columns go through one ``bincount`` over
+    combined ``target * C + column`` keys (the caller allocates the
+    buffer only when the column count is under its cutoff). The flat
     C-order walk visits each bin's contributions in push order, exactly
     like the per-column bincounts, so the accumulated sums are
     byte-identical to the fallback loop.
     """
     n, num_cols = state.shape
     count = targets.shape[0]
-    if key_buf is not None and num_cols <= COMBINED_BINCOUNT_MAX_COLS:
+    if key_buf is not None:
         keys = key_buf[:count]
         np.multiply(targets, num_cols, out=keys[:, 0])
         for c in range(1, num_cols):
@@ -103,10 +107,12 @@ class _KernelBase:
         inv_k_plus_one: np.ndarray,
         num_cols: int,
         dtype,
+        num_channels: int = 1,
     ):
         dtype = np.dtype(dtype)
         self._plan = plan
         self._num_cols = int(num_cols)
+        self._num_channels = max(1, int(num_channels))
         self._dtype = dtype
         self._num_nodes = int(plan.degrees.shape[0])
         # Share factors in two precisions: float64 for the historical
@@ -187,8 +193,8 @@ class FusedNumpyKernel(_KernelBase):
 
     name = "fused"
 
-    def __init__(self, plan, inv_k_plus_one, num_cols, dtype):
-        super().__init__(plan, inv_k_plus_one, num_cols, dtype)
+    def __init__(self, plan, inv_k_plus_one, num_cols, dtype, num_channels=1):
+        super().__init__(plan, inv_k_plus_one, num_cols, dtype, num_channels)
         # Swap-safe prescale factors: eligible rows carry 1/(k_i + 1)
         # (bitwise equal to the reference factors), rows with no
         # neighbours are forced to exactly 1.0 so the prescaled matrix
@@ -198,7 +204,7 @@ class FusedNumpyKernel(_KernelBase):
         self._inv_swap = inv_swap
         self._prescaled = np.empty((self._num_nodes, num_cols), dtype=self._dtype)
         self._targets_buf = np.empty(plan.max_pushes, dtype=np.int64)
-        if num_cols <= COMBINED_BINCOUNT_MAX_COLS:
+        if num_cols <= COMBINED_BINCOUNT_MAX_COLS * self._num_channels:
             self._key_buf = np.empty((plan.max_pushes, num_cols), dtype=np.int64)
         else:
             self._key_buf = None

@@ -13,6 +13,14 @@ The plan is also CSR-relative rather than graph-relative: the sparse
 engine builds one over the global CSR arrays, and each shard of the
 sharded engine builds one over its local owned-first/halo-after CSR
 view, so both engines share one sampling implementation.
+
+The plan is channel-oblivious by design: multi-channel gossip packs V
+reputation channels into extra state *columns*, and a node pushes its
+whole row to the same sampled targets regardless of width. One plan —
+one generator stream, one draw per step — therefore serves any V, which
+is exactly the amortization the channel axis buys (V channels share
+every sampling draw that V sequential single-channel rounds would each
+pay for).
 """
 
 from __future__ import annotations

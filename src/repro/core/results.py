@@ -34,6 +34,14 @@ class GossipOutcome:
         differential ratio) and the per-node convergence announcements.
     converged:
         Per-node convergence flags at termination.
+    num_channels:
+        Number of independent reputation channels ``V`` gossiped in
+        this round (channel-major column layout: channel ``c`` owns
+        columns ``[c * d/V, (c+1) * d/V)``). 1 for classic
+        single-channel gossip.
+    channel_converged:
+        Optional ``(N, V)`` per-channel convergence latches at
+        termination (multi-channel rounds only).
     ratio_history:
         Optional per-step snapshots of the ``(N, d)`` ratio array
         (present only when history tracking was requested).
@@ -60,6 +68,8 @@ class GossipOutcome:
     protocol_messages: int = 0
     active_node_steps: int = 0
     ratio_history: Optional[List[np.ndarray]] = field(default=None, repr=False)
+    num_channels: int = 1
+    channel_converged: Optional[np.ndarray] = field(default=None, repr=False)
 
     @property
     def num_nodes(self) -> int:
@@ -70,6 +80,24 @@ class GossipOutcome:
     def num_components(self) -> int:
         """Number of gossiped components ``d``."""
         return int(self.values.shape[1]) if self.values.ndim == 2 else 1
+
+    @property
+    def components_per_channel(self) -> int:
+        """Columns owned by each reputation channel (``d / V``)."""
+        return self.num_components // self.num_channels
+
+    def channel_slice(self, channel: int) -> slice:
+        """Column slice of ``values``/``weights`` owned by ``channel``."""
+        if not 0 <= channel < self.num_channels:
+            raise IndexError(
+                f"channel {channel} outside 0..{self.num_channels - 1}"
+            )
+        width = self.components_per_channel
+        return slice(channel * width, (channel + 1) * width)
+
+    def channel_estimates(self, channel: int) -> np.ndarray:
+        """Per-node estimates restricted to one reputation channel."""
+        return self.estimates[:, self.channel_slice(channel)]
 
     @property
     def estimates(self) -> np.ndarray:

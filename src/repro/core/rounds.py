@@ -117,7 +117,7 @@ class GossipRoundManager:
         max_gap: float = 100.0,
         adaptive: bool = True,
         xi: Optional[float] = None,
-        backend: str = "dense",
+        backend: str = "auto",
         rng: RngLike = None,
     ):
         # A shared GossipConfig supplies params / delta / xi / rng

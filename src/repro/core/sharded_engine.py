@@ -62,7 +62,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.convergence import ConvergenceProtocol, deviation_vector
+from repro.core.convergence import (
+    ConvergenceProtocol,
+    channel_deviations,
+    deviation_vector,
+)
 from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
 from repro.core.results import GossipOutcome
@@ -689,6 +693,7 @@ class ShardedGossipEngine:
         run_to_max: bool = False,
         patience: int = 3,
         warmup_steps: Optional[int] = None,
+        num_channels: int = 1,
     ) -> GossipOutcome:
         """Execute one gossip round to the stopping condition.
 
@@ -704,6 +709,12 @@ class ShardedGossipEngine:
         value = _as_state_matrix(values, n, "values", dtype=dtype)
         weight = _as_state_matrix(weights, n, "weights", dtype=dtype)
         d = value.shape[1]
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        if d % num_channels:
+            raise ValueError(
+                f"values width ({d}) must be a multiple of num_channels ({num_channels})"
+            )
         if weight.shape != value.shape:
             raise ValueError(f"weights shape {weight.shape} != values shape {value.shape}")
         names: List[str] = ["value", "weight"]
@@ -914,6 +925,7 @@ class ShardedGossipEngine:
                 run_to_max=run_to_max,
                 patience=patience,
                 warmup_steps=warmup_steps,
+                num_channels=num_channels,
             )
         finally:
             if thread_pool is not None:
@@ -943,6 +955,7 @@ class ShardedGossipEngine:
         run_to_max: bool,
         patience: int,
         warmup_steps: Optional[int],
+        num_channels: int = 1,
     ) -> GossipOutcome:
         """The engine main loop, identical in semantics to the sparse engine."""
         graph = self._graph
@@ -957,7 +970,12 @@ class ShardedGossipEngine:
         if warmup_steps is None:
             warmup_steps = int(np.ceil(np.log2(max(2, n)))) + 1
         protocol = ConvergenceProtocol(
-            graph, xi, num_components=d, patience=patience, warmup_steps=warmup_steps
+            graph,
+            xi,
+            num_components=d,
+            num_channels=num_channels,
+            patience=patience,
+            warmup_steps=warmup_steps,
         )
         previous_ratios = ratios(state[:, slices["value"]], state[:, slices["weight"]])
         ever_defined = state[:, slices["weight"]] != 0.0
@@ -1006,12 +1024,27 @@ class ShardedGossipEngine:
             drained = ever_defined & ~defined_now
             if drained.any():
                 new_ratios[drained] = previous_ratios[drained]
-            if live_components.all():
-                ratio_defined = ever_defined.all(axis=1)
+            if num_channels == 1:
+                if live_components.all():
+                    ratio_defined = ever_defined.all(axis=1)
+                else:
+                    ratio_defined = ever_defined[:, live_components].all(axis=1)
+                step_deviations = deviation_vector(new_ratios, previous_ratios)
             else:
-                ratio_defined = ever_defined[:, live_components].all(axis=1)
+                # Per-channel defined mask and eq.-7 movement (dead
+                # columns are vacuously defined, as in the scalar rule).
+                if live_components.all():
+                    defined_full = ever_defined
+                else:
+                    defined_full = ever_defined | ~live_components[None, :]
+                ratio_defined = defined_full.reshape(
+                    n, num_channels, d // num_channels
+                ).all(axis=2)
+                step_deviations = channel_deviations(
+                    new_ratios, previous_ratios, num_channels
+                )
             newly_converged = protocol.observe(
-                deviation_vector(new_ratios, previous_ratios),
+                step_deviations,
                 heard_global.copy(),
                 ratio_defined,
             )
@@ -1054,4 +1087,8 @@ class ShardedGossipEngine:
             active_node_steps=active_node_steps,
             converged=protocol.converged.copy(),
             ratio_history=history,
+            num_channels=num_channels,
+            channel_converged=(
+                protocol.channel_converged.copy() if num_channels > 1 else None
+            ),
         )

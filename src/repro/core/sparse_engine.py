@@ -141,7 +141,7 @@ class SparseGossipEngine:
         self._plan = PushPlan(graph.indptr, graph.indices, graph.degrees, push_counts)
         self._inv_k_plus_one = 1.0 / (push_counts + 1.0)
         self._max_pushes = self._plan.max_pushes
-        self._kernels: Dict[int, object] = {}
+        self._kernels: Dict[Tuple[int, int], object] = {}
 
     @property
     def graph(self) -> Graph:
@@ -186,14 +186,19 @@ class SparseGossipEngine:
         """
         return self._plan.sample_subset(self._rng, active)
 
-    def _kernel_for(self, num_cols: int):
+    def _kernel_for(self, num_cols: int, num_channels: int = 1):
         """Kernel instance for a ``num_cols``-wide state (cached per width)."""
-        kernel = self._kernels.get(num_cols)
+        key = (num_cols, num_channels)
+        kernel = self._kernels.get(key)
         if kernel is None:
             kernel = self._kernel_spec.factory(
-                self._plan, self._inv_k_plus_one, num_cols, self._dtype
+                self._plan,
+                self._inv_k_plus_one,
+                num_cols,
+                self._dtype,
+                num_channels=num_channels,
             )
-            self._kernels[num_cols] = kernel
+            self._kernels[key] = kernel
         return kernel
 
     # -- main loop ----------------------------------------------------------------
@@ -210,6 +215,7 @@ class SparseGossipEngine:
         run_to_max: bool = False,
         patience: int = 3,
         warmup_steps: Optional[int] = None,
+        num_channels: int = 1,
     ) -> GossipOutcome:
         """Execute one gossip round to the stopping condition.
 
@@ -222,6 +228,12 @@ class SparseGossipEngine:
         value = _as_state_matrix(values, n, "values", dtype=self._dtype)
         weight = _as_state_matrix(weights, n, "weights", dtype=self._dtype)
         d = value.shape[1]
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        if d % num_channels:
+            raise ValueError(
+                f"values width ({d}) must be a multiple of num_channels ({num_channels})"
+            )
         if weight.shape != value.shape:
             raise ValueError(f"weights shape {weight.shape} != values shape {value.shape}")
         names: List[str] = ["value", "weight"]
@@ -251,11 +263,16 @@ class SparseGossipEngine:
         if warmup_steps is None:
             warmup_steps = int(np.ceil(np.log2(max(2, n)))) + 1
         protocol = ConvergenceProtocol(
-            graph, xi, num_components=d, patience=patience, warmup_steps=warmup_steps
+            graph,
+            xi,
+            num_components=d,
+            num_channels=num_channels,
+            patience=patience,
+            warmup_steps=warmup_steps,
         )
         history: Optional[List[np.ndarray]] = [] if track_history else None
 
-        kernel = self._kernel_for(total_cols)
+        kernel = self._kernel_for(total_cols, num_channels)
         degrees = graph.degrees
         eligible = degrees > 0
         eligible_count = self._plan.eligible_count
@@ -273,6 +290,9 @@ class SparseGossipEngine:
         ratio_b = np.empty((n, d), dtype=np.float64)
         deviation_matrix = np.empty((n, d), dtype=np.float64)
         deviations = np.empty(n, dtype=np.float64)
+        channel_dev = (
+            np.empty((n, num_channels), dtype=np.float64) if num_channels > 1 else None
+        )
         defined_now = np.empty((n, d), dtype=bool)
         not_defined = np.empty((n, d), dtype=bool)
         drained = np.empty((n, d), dtype=bool)
@@ -356,20 +376,42 @@ class SparseGossipEngine:
                     # last defined ratio instead of snapping to the
                     # sentinel.
                     new_ratios[drained] = previous_ratios[drained]
-                if all_live:
+                if num_channels > 1:
+                    # Per-channel defined mask: every live column the
+                    # channel owns has held weight (dead columns are
+                    # vacuously defined).
+                    if all_live:
+                        defined_full = ever_defined
+                    else:
+                        defined_full = ever_defined | ~live_components[None, :]
+                    ratio_defined = defined_full.reshape(
+                        n, num_channels, d // num_channels
+                    ).all(axis=2)
+                elif all_live:
                     # (n, 1) column view == .all(axis=1) minus the reduce.
                     ratio_defined = ever_defined[:, 0] if d == 1 else ever_defined.all(axis=1)
                 else:
                     ratio_defined = ever_defined[:, live_components].all(axis=1)
 
-            if d == 1:
+            if num_channels > 1:
+                np.subtract(new_ratios, previous_ratios, out=deviation_matrix)
+                np.abs(deviation_matrix, out=deviation_matrix)
+                np.sum(
+                    deviation_matrix.reshape(n, num_channels, d // num_channels),
+                    axis=2,
+                    out=channel_dev,
+                )
+                step_deviations = channel_dev
+            elif d == 1:
                 np.subtract(new_ratios[:, 0], previous_ratios[:, 0], out=deviations)
                 np.abs(deviations, out=deviations)
+                step_deviations = deviations
             else:
                 np.subtract(new_ratios, previous_ratios, out=deviation_matrix)
                 np.abs(deviation_matrix, out=deviation_matrix)
                 np.sum(deviation_matrix, axis=1, out=deviations)
-            newly_converged = protocol.observe(deviations, heard_external, ratio_defined)
+                step_deviations = deviations
+            newly_converged = protocol.observe(step_deviations, heard_external, ratio_defined)
             if newly_converged.size:
                 protocol_messages += int(degrees[newly_converged].sum())
             previous_ratios, new_ratios = new_ratios, previous_ratios
@@ -398,4 +440,8 @@ class SparseGossipEngine:
             active_node_steps=active_node_steps,
             converged=protocol.converged.copy(),
             ratio_history=history,
+            num_channels=num_channels,
+            channel_converged=(
+                protocol.channel_converged.copy() if num_channels > 1 else None
+            ),
         )

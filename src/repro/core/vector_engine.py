@@ -28,7 +28,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.convergence import ConvergenceProtocol, deviation_vector
+from repro.core.convergence import (
+    ConvergenceProtocol,
+    channel_deviations,
+    deviation_vector,
+)
 from repro.core.differential import resolve_push_counts
 from repro.core.errors import ConvergenceError, MassConservationError
 from repro.core.results import GossipOutcome
@@ -180,6 +184,7 @@ class VectorGossipEngine:
         run_to_max: bool = False,
         patience: int = 3,
         warmup_steps: Optional[int] = None,
+        num_channels: int = 1,
     ) -> GossipOutcome:
         """Execute one gossip round to the stopping condition.
 
@@ -211,6 +216,13 @@ class VectorGossipEngine:
             Steps before convergence checks count; default
             ``ceil(log2 N) + 1`` — the time Theorem 5.1 says mass needs
             to reach every node. Pass 0 for the paper-literal rule.
+        num_channels:
+            Independent reputation channels ``V`` packed channel-major
+            into the ``d`` columns (``d`` must be a multiple of ``V``).
+            All channels share every sampling draw and scatter; only
+            convergence is judged per channel (a node announces when
+            every channel has latched). Default 1 — the classic
+            single-channel protocol.
 
         Returns
         -------
@@ -231,6 +243,12 @@ class VectorGossipEngine:
             "weight": _as_state_matrix(weights, n, "weights", dtype=self._dtype),
         }
         d = state["value"].shape[1]
+        if num_channels < 1:
+            raise ValueError(f"num_channels must be >= 1, got {num_channels}")
+        if d % num_channels:
+            raise ValueError(
+                f"values width ({d}) must be a multiple of num_channels ({num_channels})"
+            )
         if state["weight"].shape != state["value"].shape:
             raise ValueError(
                 f"weights shape {state['weight'].shape} != values shape {state['value'].shape}"
@@ -256,7 +274,12 @@ class VectorGossipEngine:
         if warmup_steps is None:
             warmup_steps = int(np.ceil(np.log2(max(2, n)))) + 1
         protocol = ConvergenceProtocol(
-            graph, xi, num_components=d, patience=patience, warmup_steps=warmup_steps
+            graph,
+            xi,
+            num_components=d,
+            num_channels=num_channels,
+            patience=patience,
+            warmup_steps=warmup_steps,
         )
         previous_ratios = ratios(state["value"], state["weight"])
         # Whether each (node, component) cell has EVER held weight. A
@@ -313,12 +336,28 @@ class VectorGossipEngine:
             drained = ever_defined & ~defined_now
             if drained.any():
                 new_ratios[drained] = previous_ratios[drained]
-            if live_components.all():
-                ratio_defined = ever_defined.all(axis=1)
+            if num_channels == 1:
+                if live_components.all():
+                    ratio_defined = ever_defined.all(axis=1)
+                else:
+                    ratio_defined = ever_defined[:, live_components].all(axis=1)
+                deviations = deviation_vector(new_ratios, previous_ratios)
             else:
-                ratio_defined = ever_defined[:, live_components].all(axis=1)
+                # Per-channel: a channel's ratio is defined once every
+                # live column it owns has held weight (dead columns are
+                # vacuously defined, as in the single-channel rule).
+                if live_components.all():
+                    defined_full = ever_defined
+                else:
+                    defined_full = ever_defined | ~live_components[None, :]
+                ratio_defined = defined_full.reshape(
+                    n, num_channels, d // num_channels
+                ).all(axis=2)
+                deviations = channel_deviations(
+                    new_ratios, previous_ratios, num_channels
+                )
             newly_converged = protocol.observe(
-                deviation_vector(new_ratios, previous_ratios), heard_external, ratio_defined
+                deviations, heard_external, ratio_defined
             )
             if newly_converged.size:
                 # Each announcement is one message to every neighbour.
@@ -347,4 +386,8 @@ class VectorGossipEngine:
             active_node_steps=active_node_steps,
             converged=protocol.converged.copy(),
             ratio_history=history,
+            num_channels=num_channels,
+            channel_converged=(
+                protocol.channel_converged.copy() if num_channels > 1 else None
+            ),
         )

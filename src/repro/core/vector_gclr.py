@@ -178,7 +178,7 @@ def aggregate_vector_gclr(
     params: WeightParams = WeightParams(),
     xi: float = 1e-4,
     denominator_convention: DenominatorConvention = "observers",
-    backend: str = "dense",
+    backend: str = "auto",
     designated_node: Optional[int] = None,
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,

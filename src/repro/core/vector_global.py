@@ -85,7 +85,7 @@ def aggregate_vector_global(
     targets: Optional[Sequence[int]] = None,
     xi: float = 1e-4,
     convention: Convention = "observers",
-    backend: str = "dense",
+    backend: str = "auto",
     push_counts: Optional[np.ndarray] = None,
     loss_model: Optional[PacketLossModel] = None,
     rng: RngLike = None,

@@ -36,7 +36,7 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 11,
     m: int = 2,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Regenerate Figure 3 as a table (one row per (N, xi) pair).
 

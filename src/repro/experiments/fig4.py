@@ -33,7 +33,7 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 13,
     m: int = 2,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Regenerate Figure 4 (one row per loss probability, one column per xi)."""
     if num_nodes is None:

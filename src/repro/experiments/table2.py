@@ -29,7 +29,7 @@ def run(
     xis: Sequence[float] = XIS,
     seed: int = 7,
     m: int = 2,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Regenerate Table 2 over the requested grid.
 

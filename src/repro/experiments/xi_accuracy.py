@@ -34,7 +34,7 @@ def run(
     repetitions: int = 5,
     seed: int = 37,
     m: int = 2,
-    backend: str = "dense",
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Measure achieved estimation error vs the stopping tolerance ξ."""
     root = as_generator(seed)

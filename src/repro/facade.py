@@ -20,7 +20,14 @@ True
 - a :class:`repro.trust.matrix.TrustMatrix` — the ``variant`` parameter
   selects the paper's aggregation variant ("single-global",
   "vector-global", "single-gclr", "vector-gclr"), and the facade builds
-  the exact initial state the dedicated entry points use.
+  the exact initial state the dedicated entry points use;
+- a list/tuple of either of the above — one *reputation channel* per
+  entry, gossiped in a single multi-channel pass: the facade stacks the
+  per-channel initial states channel-major and runs them under
+  ``num_channels = len(trust)``, so V channels pay for one round of
+  sampling draws instead of V (Golem's computing + delegating dual-rank
+  is the motivating workload). ``GossipOutcome.channel_estimates(c)``
+  slices channel ``c`` back out.
 
 ``backend`` names any registered gossip backend
 (:func:`repro.core.backend.available_backends`); ``"auto"`` picks
@@ -40,7 +47,8 @@ round from the last through this same backend layer.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -141,9 +149,74 @@ def _initial_state(
     return values, weights, {"count": counts}
 
 
+def _stacked_channel_state(
+    graph: Graph,
+    channels: Sequence[Union[TrustMatrix, np.ndarray]],
+    variant: Optional[str],
+    *,
+    target: Optional[int],
+    targets: Optional[Sequence[int]],
+    convention: str,
+    designated_node: Optional[int],
+) -> Tuple[np.ndarray, np.ndarray, Optional[Dict[str, np.ndarray]]]:
+    """Channel-major stacked ``(values, weights, extras)`` for V channels.
+
+    Each entry of ``channels`` goes through the exact per-variant
+    initial-state construction a single-channel call would use; the
+    results are horizontally stacked so channel ``c`` owns columns
+    ``[c * width, (c + 1) * width)`` — the layout the engines' per-channel
+    convergence assumes.
+    """
+    if not channels:
+        raise ValueError("trust sequence must contain at least one channel")
+    values_list: List[np.ndarray] = []
+    weights_list: List[np.ndarray] = []
+    extras_list: List[Optional[Dict[str, np.ndarray]]] = []
+    width: Optional[int] = None
+    for index, channel_trust in enumerate(channels):
+        values, weights, extras = _initial_state(
+            graph,
+            channel_trust,
+            variant,
+            target=target,
+            targets=targets,
+            convention=convention,
+            designated_node=designated_node,
+        )
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+            weights = weights.reshape(-1, 1)
+        if extras is not None:
+            extras = {
+                name: (array.reshape(-1, 1) if array.ndim == 1 else array)
+                for name, array in extras.items()
+            }
+        if width is None:
+            width = values.shape[1]
+        elif values.shape[1] != width:
+            raise ValueError(
+                f"trust channel {index} produces {values.shape[1]} columns but "
+                f"channel 0 produced {width}; every channel must aggregate the "
+                "same number of components"
+            )
+        values_list.append(values)
+        weights_list.append(weights)
+        extras_list.append(extras)
+    extra_keys = {frozenset(extras or ()) for extras in extras_list}
+    if len(extra_keys) != 1:
+        raise ValueError("trust channels produced inconsistent extra components")
+    stacked_extras: Optional[Dict[str, np.ndarray]] = None
+    if extras_list[0]:
+        stacked_extras = {
+            name: np.hstack([extras[name] for extras in extras_list])
+            for name in extras_list[0]
+        }
+    return np.hstack(values_list), np.hstack(weights_list), stacked_extras
+
+
 def aggregate(
     graph: Graph,
-    trust: Union[TrustMatrix, np.ndarray],
+    trust: Union[TrustMatrix, np.ndarray, Sequence[Union[TrustMatrix, np.ndarray]]],
     config: Optional[GossipConfig] = None,
     *,
     backend: str = "auto",
@@ -162,7 +235,12 @@ def aggregate(
         Overlay topology the gossip runs over.
     trust:
         A :class:`~repro.trust.matrix.TrustMatrix` (aggregated per
-        ``variant``) or a per-node array to average.
+        ``variant``), a per-node array to average, or a list/tuple of
+        either — one reputation channel per entry, stacked
+        channel-major and gossiped in a single
+        ``num_channels = len(trust)`` pass (every channel must produce
+        the same column count; ``config.num_channels``, when set, must
+        match).
     config:
         Shared knobs of the round
         (:class:`repro.core.backend.GossipConfig`); defaults apply when
@@ -212,15 +290,36 @@ def aggregate(
     >>> bool(np.allclose(out.estimates, 0.5, atol=1e-3))  # the global mean
     True
     """
-    values, weights, variant_extras = _initial_state(
-        graph,
-        trust,
-        variant,
-        target=target,
-        targets=targets,
-        convention=convention,
-        designated_node=designated_node,
-    )
+    if isinstance(trust, (list, tuple)):
+        values, weights, variant_extras = _stacked_channel_state(
+            graph,
+            trust,
+            variant,
+            target=target,
+            targets=targets,
+            convention=convention,
+            designated_node=designated_node,
+        )
+        num_channels = len(trust)
+        if num_channels > 1:
+            config = config if config is not None else GossipConfig()
+            if config.num_channels == 1:
+                config = dataclasses.replace(config, num_channels=num_channels)
+            elif config.num_channels != num_channels:
+                raise ValueError(
+                    f"config.num_channels ({config.num_channels}) does not match "
+                    f"the {num_channels} trust channels passed"
+                )
+    else:
+        values, weights, variant_extras = _initial_state(
+            graph,
+            trust,
+            variant,
+            target=target,
+            targets=targets,
+            convention=convention,
+            designated_node=designated_node,
+        )
     if variant_extras is not None:
         if extras:
             raise ValueError(

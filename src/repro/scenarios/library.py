@@ -1,6 +1,6 @@
 """The seeded scenario catalogue.
 
-Eleven scenarios ship with the repro, spanning the design space the
+Twelve scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
 churn × attack × dynamics × service × backend), so new scenarios are a
 registration call away — no new plumbing. The two dynamic scenarios
@@ -9,10 +9,13 @@ registration call away — no new plumbing. The two dynamic scenarios
 streams a seeded report workload through the serving layer of
 :mod:`repro.service` (bounded ingest, snapshot swaps, backpressure),
 ``million-peer-sharded`` exercises the multi-process sharded backend
-at the scale it exists for, and three adversary scenarios
+at the scale it exists for, three adversary scenarios
 (``slander-under-churn``, ``sybil-flood-100k``,
 ``oscillating-colluders-sharded``) sweep the attack registry of
-:mod:`repro.attacks.models` across the backend spectrum.
+:mod:`repro.attacks.models` across the backend spectrum, and
+``computing-vs-delegating`` gossips Golem-style computing + delegating
+dual ranks as two channels of a single multi-channel pass under a
+cross-channel slander coalition (the honest rank must stay clean).
 """
 
 from __future__ import annotations
@@ -71,7 +74,7 @@ COLLUSION_UNDER_CHURN = register_scenario(
         workload=WorkloadSpec(kind="trust-gclr", num_targets=20, observations="complete"),
         churn=ChurnSpec(loss_probability=0.2),
         attack=AttackSpec(fraction=0.3, group_size=5),
-        backend="dense",
+        backend="auto",
         xi=1e-4,
         seed=413,
     )
@@ -96,7 +99,7 @@ FLASH_CROWD = register_scenario(
             opinion_drift=0.01,
             newcomer_trust=0.2,
         ),
-        backend="dense",
+        backend="auto",
         xi=1e-5,
         max_steps=400,
         seed=415,
@@ -234,6 +237,30 @@ SERVICE_SOAK = register_scenario(
         xi=1e-4,
         max_steps=400,
         seed=421,
+    )
+)
+
+COMPUTING_VS_DELEGATING = register_scenario(
+    Scenario(
+        name="computing-vs-delegating",
+        description=(
+            "Golem-style dual rank: independent computing and delegating trust "
+            "matrices gossiped as two reputation channels of one V=2 pass "
+            "(every sampling draw shared) while a 20% cross-channel slander "
+            "coalition bad-mouths a 10% victim set on the computing rank only — "
+            "the delegating rank's shift must stay at gossip-noise level."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=2000, small_num_nodes=200, m=2),
+        workload=WorkloadSpec(kind="dual-rank", num_targets=20, observations="edge-local"),
+        attack=AttackSpec(
+            kind="cross-channel-slander",
+            fraction=0.2,
+            victim_fraction=0.1,
+            target_channel=0,
+        ),
+        backend="auto",
+        xi=1e-5,
+        seed=422,
     )
 )
 

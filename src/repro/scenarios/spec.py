@@ -14,6 +14,7 @@ from ``(name, seed, small)`` alone.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
@@ -29,7 +30,7 @@ from repro.network.graph import Graph
 from repro.utils.rng import as_generator
 
 TOPOLOGY_KINDS = ("powerlaw", "powerlaw-fast", "erdos-renyi", "random-regular", "example")
-WORKLOAD_KINDS = ("mean", "trust-global", "trust-gclr", "free-riding")
+WORKLOAD_KINDS = ("mean", "trust-global", "trust-gclr", "free-riding", "dual-rank")
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,11 @@ class WorkloadSpec:
     - ``"free-riding"``: nodes carry contribution scores with a
       free-riding minority; the round estimates the network-wide mean
       contribution each node compares itself against.
+    - ``"dual-rank"``: Golem-style computing + delegating reputations —
+      two independent trust matrices gossiped as two channels of one
+      ``num_channels = 2`` vector-global pass (every sampling draw
+      shared). Supports an optional attack; a cross-channel family
+      poisons one rank while the other must stay clean (containment).
     """
 
     kind: str = "mean"
@@ -141,7 +147,10 @@ class AttackSpec:
     - ``"on-off"`` — ``fraction``, ``period``, ``on_epochs``, wrapping
       a slandering inner attack (``victim_fraction``/``value``/
       ``max_victims``) so the duty cycle stays sparse at any scale;
-    - ``"sybil"`` — ``sybil_fraction``, ``attach_m``.
+    - ``"sybil"`` — ``sybil_fraction``, ``attach_m``;
+    - ``"cross-channel-slander"`` — the slandering parameters plus
+      ``target_channel`` (which reputation channel of a multi-channel
+      workload the coalition poisons; the others stay honest).
     """
 
     kind: str = "collusion"
@@ -155,6 +164,7 @@ class AttackSpec:
     sybil_fraction: float = 0.1
     attach_m: int = 2
     newcomer_trust: float = 0.0
+    target_channel: int = 0
 
     def __post_init__(self) -> None:
         from repro.attacks.models import resolve_attack_name
@@ -185,6 +195,8 @@ class AttackSpec:
             raise ValueError(f"attach_m must be >= 1, got {self.attach_m}")
         if not 0.0 <= self.newcomer_trust <= 1.0:
             raise ValueError(f"newcomer_trust must be in [0, 1], got {self.newcomer_trust}")
+        if self.target_channel < 0:
+            raise ValueError(f"target_channel must be >= 0, got {self.target_channel}")
 
     def _slander_params(self) -> Dict:
         """Slandering kwargs; ``max_victims=None`` defers to the family's
@@ -209,6 +221,11 @@ class AttackSpec:
             )
         if kind == "slandering":
             return make_attack(kind, seed=seed, **self._slander_params())
+        if kind == "cross-channel-slander":
+            return make_attack(
+                kind, seed=seed, target_channel=self.target_channel,
+                **self._slander_params(),
+            )
         if kind == "whitewashing":
             return make_attack(
                 kind, fraction=self.fraction, newcomer_trust=self.newcomer_trust, seed=seed
@@ -493,19 +510,25 @@ def run_scenario(
         # dynamic runtime for its per-tick epochs).
         return _run_service(scenario, graph, config, backend_name, root, small=small)
 
-    resolved = (
-        choose_backend_name(graph)
-        if backend_name == "auto"
-        else resolve_backend_name(backend_name)
-    )
-    start = time.perf_counter()
     kind = scenario.workload.kind
+    if backend_name == "auto":
+        # Dual-rank gossips num_channels=2 state, which the message
+        # engine cannot run — let the auto policy see that constraint.
+        auto_config = (
+            dataclasses.replace(config, num_channels=2) if kind == "dual-rank" else None
+        )
+        resolved = choose_backend_name(graph, auto_config)
+    else:
+        resolved = resolve_backend_name(backend_name)
+    start = time.perf_counter()
     if kind == "mean":
         outcome, metrics, notes = _run_mean(scenario, graph, config, resolved, root)
     elif kind == "trust-global":
         outcome, metrics, notes = _run_trust_global(scenario, graph, config, resolved, root)
     elif kind == "trust-gclr":
         outcome, metrics, notes = _run_trust_gclr(scenario, graph, config, resolved, root)
+    elif kind == "dual-rank":
+        outcome, metrics, notes = _run_dual_rank(scenario, graph, config, resolved, root)
     else:
         outcome, metrics, notes = _run_free_riding(scenario, graph, config, resolved, root)
     elapsed = time.perf_counter() - start
@@ -793,6 +816,105 @@ def _run_trust_gclr(scenario, graph, config, backend, root):
         f"{scenario.workload.observations} trust observations",
     ]
     return impact.clean_outcome, metrics, notes
+
+
+def _run_dual_rank(scenario, graph, config, backend, root):
+    """Golem-style dual rank: two trust channels gossiped in one V=2 pass."""
+    from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
+
+    n = graph.num_nodes
+
+    def build_trust():
+        rng = as_generator(int(root.integers(2**62)))
+        if scenario.workload.observations == "complete":
+            return complete_trust_matrix(n, rng=rng)
+        return random_trust_matrix(graph, rng=rng)
+
+    # Two independent opinion worlds: how well peers compute for others,
+    # and how well they delegate/pay — Golem's two reputation ranks.
+    labels = ("computing", "delegating")
+    channels = (build_trust(), build_trust())
+    num_targets = min(scenario.workload.num_targets, n)
+    target_rng = as_generator(int(root.integers(2**62)))
+    targets = sorted(int(t) for t in target_rng.choice(n, size=num_targets, replace=False))
+
+    model = (
+        scenario.attack.build(seed=int(root.integers(2**62)))
+        if scenario.attack is not None
+        else None
+    )
+    if model is not None and hasattr(model, "cast"):
+        # Steer half the tracked columns onto seeded victims, as in
+        # trust-gclr: uniformly sampled targets would rarely intersect a
+        # bounded victim set and the shift metrics would measure noise.
+        _, victims = model.cast(n)
+        if victims.size:
+            half = max(1, num_targets // 2)
+            picked = set(
+                int(v)
+                for v in (
+                    victims
+                    if victims.size <= half
+                    else target_rng.choice(victims, size=half, replace=False)
+                )
+            )
+            fill = [t for t in targets if t not in picked]
+            targets = sorted(picked | set(fill[: max(0, num_targets - len(picked))]))
+
+    # Clean per-channel ground truth *before* the attack poisons reports.
+    clean_truth = {
+        label: np.array([ch.column_mean_over_observers(t) for t in targets])
+        for label, ch in zip(labels, channels)
+    }
+    notes = [
+        "computing + delegating ranks gossiped as 2 channels of one pass "
+        "(every sampling draw shared)"
+    ]
+    if model is not None:
+        if hasattr(model, "apply_channels"):
+            channels, _ = model.apply_channels(channels, None, epoch=0)
+        else:
+            poisoned, _ = model.apply(channels[0], None, epoch=0)
+            channels = (poisoned,) + channels[1:]
+        notes.append(
+            f"attack family '{model.name}' poisons one rank; the other channel's "
+            "reports stay honest"
+        )
+
+    outcome = aggregate(
+        graph, list(channels), config, backend=backend,
+        variant="vector-global", targets=targets,
+    )
+    metrics = {
+        "num_targets": float(len(targets)),
+        "num_channels": float(outcome.num_channels),
+    }
+    for index, label in enumerate(labels):
+        estimates = outcome.channel_estimates(index)
+        # Gossip accuracy: against the channel's own (post-attack) truth.
+        truth = np.array([channels[index].column_mean_over_observers(t) for t in targets])
+        scale = np.where(np.abs(truth) > 0, np.abs(truth), 1.0)
+        rel = np.abs(estimates - truth[None, :]) / scale[None, :]
+        metrics[f"{label}_max_rel_error"] = float(rel.max())
+        metrics[f"{label}_mean_rel_error"] = float(rel.mean())
+        # Rank shift: how far the learned rank moved off the *clean*
+        # truth — the slander-containment measure.
+        clean = clean_truth[label]
+        clean_scale = np.where(np.abs(clean) > 0, np.abs(clean), 1.0)
+        shift = np.abs(estimates.mean(axis=0) - clean) / clean_scale
+        metrics[f"{label}_rank_shift"] = float(shift.max())
+    if model is not None:
+        poisoned_index = int(getattr(model, "target_channel", 0))
+        honest = [label for i, label in enumerate(labels) if i != poisoned_index]
+        metrics["slander_shift_poisoned"] = metrics[f"{labels[poisoned_index]}_rank_shift"]
+        metrics["slander_shift_contained"] = max(
+            metrics[f"{label}_rank_shift"] for label in honest
+        )
+        notes.append(
+            "containment: slander_shift_contained stays at gossip-noise level "
+            "while slander_shift_poisoned carries the attack"
+        )
+    return outcome, metrics, notes
 
 
 def _run_free_riding(scenario, graph, config, backend, root):

@@ -305,8 +305,10 @@ class TestFacade:
 
     def test_vector_global_variant_matches_entry_point(self, pa_graph_small, small_trust):
         targets = [0, 3, 9]
+        # The entry point now defaults to backend="auto"; pin dense so
+        # both sides run the identical engine trajectory.
         old = aggregate_vector_global(
-            pa_graph_small, small_trust, targets=targets, xi=1e-6, rng=17
+            pa_graph_small, small_trust, targets=targets, xi=1e-6, rng=17, backend="dense"
         )
         new = aggregate(
             pa_graph_small,
@@ -328,7 +330,7 @@ class TestFacade:
     def test_vector_gclr_variant_matches_entry_point(self, pa_graph_small, small_trust):
         targets = [1, 4, 7]
         old = aggregate_vector_gclr(
-            pa_graph_small, small_trust, targets=targets, xi=1e-6, rng=23
+            pa_graph_small, small_trust, targets=targets, xi=1e-6, rng=23, backend="dense"
         )
         new = aggregate(
             pa_graph_small,

@@ -165,6 +165,23 @@ class TestRunScenario:
         assert result.metrics["total_attack_events"] > 0
         assert result.metrics["final_mean_abs_error"] < 0.05
 
+    def test_computing_vs_delegating_contains_cross_channel_slander(self):
+        result = run_scenario("computing-vs-delegating", small=True)
+        assert result.backend == "dense"  # auto at N=200, V=2
+        assert result.metrics["num_channels"] == 2.0
+        assert result.converged_fraction == 1.0
+        # Both channels reach their (post-attack) fixpoints via gossip.
+        assert result.metrics["computing_mean_rel_error"] < 0.01
+        assert result.metrics["delegating_mean_rel_error"] < 0.01
+        # The slandered computing rank moves off the clean truth; the
+        # honest delegating rank must stay at gossip-noise level.
+        assert result.metrics["slander_shift_poisoned"] > 0.1
+        assert result.metrics["slander_shift_contained"] < 1e-3
+        assert (
+            result.metrics["slander_shift_contained"]
+            < result.metrics["slander_shift_poisoned"] / 100
+        )
+
     def test_free_riding_small_detects_free_riders(self):
         result = run_scenario("free-riding-500k", small=True)
         assert result.backend == "sparse"
