@@ -35,6 +35,7 @@ from repro.attacks.evaluate import attack_impact
 from repro.attacks.models import available_attacks, make_attack
 from repro.core.backend import GossipConfig
 from repro.experiments.attack_sweeps import _world_and_targets
+from repro.utils.hardware import host_metadata
 
 #: Per-family parameters of the benchmark's adversaries (kept modest so
 #: every family runs at any --n without densifying the trust matrix).
@@ -159,6 +160,7 @@ def main(argv=None) -> int:
             else tuple(f.strip() for f in args.families.split(",") if f.strip())
         ),
     )
+    record.update(host_metadata())
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

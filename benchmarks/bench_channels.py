@@ -41,7 +41,7 @@ from repro.core.sharded_engine import ShardedGossipEngine
 from repro.core.sparse_engine import SparseGossipEngine
 from repro.core.vector_engine import VectorGossipEngine
 from repro.network.preferential_attachment import preferential_attachment_graph_fast
-from repro.utils.hardware import usable_cpu_count
+from repro.utils.hardware import host_metadata, usable_cpu_count
 
 #: Acceptance bar: one V=4 pass vs 4 sequential V=1 runs on the sparse
 #: engine at N=100k.
@@ -228,7 +228,7 @@ def run_channel_benchmark(
         "pairs": pairs,
         "seed": seed,
         "graph_build_seconds": round(build_seconds, 2),
-        "host_cpus": usable_cpu_count(),
+        **host_metadata(),
         "available_kernels": list(available_kernels()),
         "methodology": (
             "paired marginal differencing: per repetition each contender runs "

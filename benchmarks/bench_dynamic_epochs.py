@@ -31,6 +31,7 @@ from repro.network.mutable import MutableOverlay
 from repro.core.backend import GossipConfig
 from repro.runtime.dynamics import DynamicRunResult, run_dynamic
 from repro.runtime.trace import ChurnTrace
+from repro.utils.hardware import host_metadata
 
 
 def _replay(
@@ -143,6 +144,7 @@ def main(argv=None) -> int:
         backend=args.backend,
         seed=args.seed,
     )
+    record.update(host_metadata())
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -29,6 +29,7 @@ from typing import Dict, List
 
 from repro.service.reports import generate_reports
 from repro.service.service import ReputationService, ServiceLoop
+from repro.utils.hardware import host_metadata
 
 
 def _fresh_service(args, *, batch_size: int, high_watermark: int) -> ReputationService:
@@ -189,6 +190,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     record = run_benchmark(args)
+    record.update(host_metadata(required_workers=args.readers))
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")

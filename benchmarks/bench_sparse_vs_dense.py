@@ -37,6 +37,7 @@ from repro.core.sparse_engine import SparseGossipEngine
 from repro.core.vector_engine import VectorGossipEngine
 from repro.facade import aggregate
 from repro.network.preferential_attachment import preferential_attachment_graph
+from repro.utils.hardware import host_metadata
 from repro.utils.rng import as_generator
 
 
@@ -211,6 +212,7 @@ def main(argv=None) -> int:
     record = run_benchmark(
         args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed, world=world
     )
+    record.update(host_metadata())
     with open(args.out, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -225,6 +227,7 @@ def main(argv=None) -> int:
         sweep = run_backend_sweep(
             args.n, m=args.m, steps=args.steps, repeats=args.repeats, seed=args.seed, world=world
         )
+        sweep.update(host_metadata())
         with open(args.backends_out, "w") as handle:
             json.dump(sweep, handle, indent=2, sort_keys=True)
             handle.write("\n")

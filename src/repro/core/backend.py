@@ -43,7 +43,7 @@ from repro.core.errors import GossipError, UnsupportedDtypeError
 from repro.core.results import GossipOutcome
 from repro.core.state import resolve_state_dtype
 from repro.core.weights import WeightParams
-from repro.network.churn import PacketLossModel
+from repro.network.conditions import InstantLink, LinkModel, PacketLossModel
 from repro.network.graph import Graph
 from repro.utils.hardware import usable_cpu_count
 from repro.utils.rng import RngLike, spawn_child, stateless_child_sequence
@@ -112,6 +112,16 @@ class GossipConfig:
     loss_model:
         Explicit churn model (takes precedence over
         ``loss_probability``).
+    network:
+        Optional :class:`repro.network.conditions.LinkModel` — the
+        network-conditions axis (per-edge loss, latency distributions,
+        bandwidth caps, regions, partitions). Mutually exclusive with
+        the legacy loss knobs. Loss-only models run on every backend
+        via :meth:`materialize` (byte-identical to the equivalent
+        ``loss_probability``); latency-bearing models need the
+        event-driven ``"async"`` backend — synchronous backends raise
+        :class:`BackendCapabilityError`, and :func:`choose_backend_name`
+        steers such configs to ``"async"`` automatically.
     rng:
         Seed / generator for target selection (and the derived loss
         model, when ``loss_probability`` is used).
@@ -191,6 +201,7 @@ class GossipConfig:
     delta: float = 0.05
     loss_probability: float = 0.0
     loss_model: Optional[PacketLossModel] = None
+    network: Optional[LinkModel] = None
     rng: RngLike = None
     max_steps: int = 10_000
     patience: int = 3
@@ -214,6 +225,17 @@ class GossipConfig:
             raise ValueError("pass either k (uniform) or push_counts (per-node), not both")
         if not 0.0 <= self.loss_probability <= 1.0:
             raise ValueError(f"loss_probability must be in [0, 1], got {self.loss_probability}")
+        if self.network is not None:
+            if not isinstance(self.network, LinkModel):
+                raise ValueError(
+                    f"network must be a repro.network.conditions.LinkModel, "
+                    f"got {type(self.network).__name__}"
+                )
+            if self.loss_probability != 0.0 or self.loss_model is not None:
+                raise ValueError(
+                    "pass either network= (a LinkModel) or the legacy loss knobs "
+                    "(loss_probability / loss_model), not both"
+                )
         if self.max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
         if self.patience < 1:
@@ -244,37 +266,80 @@ class GossipConfig:
             return fixed_push_counts(graph, self.k)
         return None
 
-    def materialize(self) -> Tuple[np.random.Generator, Optional[PacketLossModel]]:
-        """Resolve ``(generator, loss_model)`` for one engine run.
+    def link_stream(self) -> np.random.Generator:
+        """The dedicated link/loss-randomness generator.
 
-        The loss model derived from ``loss_probability`` gets its own
-        stream derived *statelessly* from the seed, so the engine's
-        target-selection stream is identical to a loss-free run of the
-        same seed (int / ``None`` / ``SeedSequence`` seeds). Only when
+        Derived *statelessly* from the seed under ``LOSS_STREAM_KEY``
+        (int / ``None`` / ``SeedSequence`` seeds), so link randomness
+        never perturbs the engine's target-selection stream. Only when
         ``rng`` is an existing ``Generator`` — whose state cannot be
         re-derived — is a child split off, which advances the shared
-        stream; prefer seed-like ``rng`` values when comparing against
-        a loss-free run.
+        stream; call this *before* :meth:`main_stream` in that case and
+        prefer seed-like ``rng`` values when comparing against a
+        loss-free run.
         """
-        loss = self.loss_model
-        needs_loss = loss is None and self.loss_probability > 0.0
         if isinstance(self.rng, np.random.Generator):
-            if needs_loss:
-                loss = PacketLossModel(
-                    self.loss_probability, rng=spawn_child(self.rng, key=LOSS_STREAM_KEY)
-                )
-            return self.rng, loss
+            return spawn_child(self.rng, key=LOSS_STREAM_KEY)
         root = (
             self.rng
             if isinstance(self.rng, np.random.SeedSequence)
             else np.random.SeedSequence(self.rng)
         )
-        if needs_loss:
-            loss = PacketLossModel(
-                self.loss_probability,
-                rng=np.random.default_rng(stateless_child_sequence(root, LOSS_STREAM_KEY)),
+        return np.random.default_rng(stateless_child_sequence(root, LOSS_STREAM_KEY))
+
+    def main_stream(self) -> np.random.Generator:
+        """The engine's target-selection generator, resolved from ``rng``."""
+        if isinstance(self.rng, np.random.Generator):
+            return self.rng
+        root = (
+            self.rng
+            if isinstance(self.rng, np.random.SeedSequence)
+            else np.random.SeedSequence(self.rng)
+        )
+        return np.random.default_rng(root)
+
+    def uniform_loss_probability(self) -> float:
+        """The single per-push loss probability a synchronous backend runs.
+
+        Resolves the ``network`` axis down to the classic uniform
+        Bernoulli, or raises :class:`BackendCapabilityError` when the
+        model needs the event-driven engine (latency, bandwidth,
+        partitions, or per-edge loss).
+        """
+        if self.network is None:
+            return self.loss_probability
+        if self.network.has_latency:
+            raise BackendCapabilityError(
+                "step-synchronous backends cannot run latency-bearing network "
+                "models (delays, bandwidth caps, partition windows); use the "
+                "event-driven 'async' backend"
             )
-        return np.random.default_rng(root), loss
+        uniform = self.network.uniform_loss_probability
+        if uniform is None:
+            raise BackendCapabilityError(
+                "step-synchronous backends apply one loss probability to every "
+                "push; per-edge loss network models need the event-driven "
+                "'async' backend"
+            )
+        return uniform
+
+    def materialize(self) -> Tuple[np.random.Generator, Optional[PacketLossModel]]:
+        """Resolve ``(generator, loss_model)`` for one engine run.
+
+        The loss model derived from ``loss_probability`` — or from a
+        loss-only ``network`` model, which resolves to the *same*
+        :class:`PacketLossModel` over the same stream (byte-identity
+        contract) — draws from the dedicated :meth:`link_stream`, so the
+        engine's target-selection stream is identical to a loss-free run
+        of the same seed. Latency-bearing network models raise
+        :class:`BackendCapabilityError` here: a synchronous round
+        schedule has no time axis to express them.
+        """
+        loss = self.loss_model
+        probability = self.uniform_loss_probability()
+        if loss is None and probability > 0.0:
+            loss = PacketLossModel(probability, rng=self.link_stream())
+        return self.main_stream(), loss
 
 
 @runtime_checkable
@@ -454,6 +519,10 @@ class ShardedBackend:
                 "backend 'sharded' derives per-shard loss streams from the seed; "
                 "pass loss_probability instead of an explicit loss_model"
             )
+        # The network axis resolves to the classic uniform Bernoulli here
+        # (byte-identical to the loss_probability path) or raises for
+        # event-driven-only models.
+        loss_probability = config.uniform_loss_probability()
         workers = config.shard_workers
         executor = None
         if isinstance(workers, str):
@@ -461,7 +530,7 @@ class ShardedBackend:
         engine = ShardedGossipEngine(
             graph,
             push_counts=config.resolved_push_counts(graph),
-            loss_probability=config.loss_probability,
+            loss_probability=loss_probability,
             rng=config.rng,
             num_shards=config.num_shards,
             num_workers=workers,
@@ -488,8 +557,18 @@ class AsyncBackend:
     Asynchronous gossip has no global steps, so the returned
     :class:`GossipOutcome` maps simulated time onto ``steps`` (rounded)
     and individual push events onto ``push_messages``. Only scalar
-    (single-component) state is supported, and churn/extras/history are
+    (single-component) state is supported, and extras/history are
     synchronous-model features this backend rejects explicitly.
+
+    This is the one backend that runs the full network-conditions axis:
+    ``config.network`` link models with latency, bandwidth caps,
+    regions and partition windows execute natively (a push becomes a
+    *send* event that lands after its sampled delay), and the classic
+    ``config.loss_probability`` runs as the equivalent zero-latency
+    :class:`~repro.network.conditions.InstantLink`. The link's
+    randomness draws from the same ``LOSS_STREAM_KEY`` child stream the
+    synchronous loss path uses, so attaching a link model never
+    perturbs target selection.
     """
 
     name = "async"
@@ -520,9 +599,11 @@ class AsyncBackend:
                 "backend 'async' runs float64 gossip state only; "
                 "use 'dense', 'sparse' or 'sharded' for float32"
             )
-        rng, loss_model = config.materialize()
-        if loss_model is not None:
-            raise BackendCapabilityError("backend 'async' does not support packet loss")
+        if config.loss_model is not None:
+            raise BackendCapabilityError(
+                "backend 'async' models the network through link models; pass "
+                "loss_probability or network= instead of an explicit loss_model"
+            )
         if config.track_history or config.run_to_max:
             raise BackendCapabilityError(
                 "backend 'async' does not support track_history/run_to_max"
@@ -535,6 +616,14 @@ class AsyncBackend:
                 "backend 'async' uses a quiet-window stop rule; "
                 "patience/warmup_steps do not apply"
             )
+        link = config.network
+        if link is None and config.loss_probability > 0.0:
+            link = InstantLink(config.loss_probability)
+        # Derive the link stream before touching the main stream: for
+        # Generator rng the child split advances the parent (same order
+        # materialize uses on the synchronous path).
+        link_rng = config.link_stream() if link is not None else None
+        rng = config.main_stream()
         values = np.asarray(values, dtype=np.float64)
         if values.ndim == 2:
             if values.shape[1] != 1:
@@ -544,7 +633,11 @@ class AsyncBackend:
             values = values.reshape(-1)
             weights = np.asarray(weights, dtype=np.float64).reshape(-1)
         engine = AsyncGossipEngine(
-            graph, push_counts=config.resolved_push_counts(graph), rng=rng
+            graph,
+            push_counts=config.resolved_push_counts(graph),
+            rng=rng,
+            link=link,
+            link_rng=link_rng,
         )
         out = engine.run(
             values, weights, xi=config.xi, max_time=float(config.max_steps)
@@ -671,8 +764,12 @@ def choose_backend_name(graph: Graph, config: Optional[GossipConfig] = None) -> 
     otherwise sharding is pure overhead and sparse stays the pick.
     Configs that need ``run_to_max`` or multi-channel state skip the
     message engine (it supports neither fixed-budget runs nor
-    ``num_channels > 1``).
+    ``num_channels > 1``). Configs whose ``network`` link model carries
+    latency (delays, bandwidth caps or partition windows) can only run
+    event-driven, so they steer straight to the async engine.
     """
+    if config is not None and config.network is not None and config.network.has_latency:
+        return "async"
     n = graph.num_nodes
     needs_vector_engine = config is not None and (
         config.run_to_max or config.num_channels != 1

@@ -1,106 +1,22 @@
-"""Packet-loss / churn model with mass-conserving self-push.
+"""Deprecated home of :class:`PacketLossModel` — moved to
+:mod:`repro.network.conditions`.
 
-P2P overlays run above TCP, so in the paper's model a push is only lost
-when the receiving peer has *left* the network (churn). The sender then
-gets no acknowledgement and — to keep the gossip mass conserved — pushes
-the pair to itself instead (Section 5.3, Figure 4). A leaving node is
-likewise assumed to hand its accumulated gossip pair to another node, so
-the global sums of gossip value and gossip weight are invariants even
-under churn.
+Per-push Bernoulli loss was never *churn* (no peer joins or leaves; the
+overlay is frozen) — it is a network condition, and it now lives with
+the other link models in :mod:`repro.network.conditions`. This module
+re-exports the old names so existing imports keep working; new code
+should import from the conditions module (or :mod:`repro.network`).
 
-:class:`PacketLossModel` encapsulates that behaviour: given the array of
-push targets chosen in a step, it rewrites lost pushes back to the
-sender. Both gossip engines consume it, so the policy is defined once.
+Examples
+--------
+>>> from repro.network.churn import PacketLossModel
+>>> from repro.network.conditions import PacketLossModel as Moved
+>>> PacketLossModel is Moved
+True
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.network.conditions import PacketLossModel, no_loss
 
-from repro.utils.rng import RngLike, as_generator
-from repro.utils.validation import check_probability
-
-
-class PacketLossModel:
-    """Bernoulli per-push loss with mass-conserving self-redirect.
-
-    Parameters
-    ----------
-    loss_probability:
-        Probability that any single push is lost (its receiver has
-        churned away). ``0.0`` disables the model.
-    rng:
-        Seed / generator for the loss draws.
-
-    Examples
-    --------
-    >>> model = PacketLossModel(1.0, rng=0)  # every push lost
-    >>> senders = np.array([0, 1, 2])
-    >>> targets = np.array([1, 2, 0])
-    >>> model.apply(senders, targets).tolist()  # all redirected to self
-    [0, 1, 2]
-    """
-
-    __slots__ = ("_loss_probability", "_rng", "_lost_count", "_delivered_count")
-
-    def __init__(self, loss_probability: float, *, rng: RngLike = None):
-        check_probability(loss_probability, "loss_probability")
-        self._loss_probability = float(loss_probability)
-        self._rng = as_generator(rng)
-        self._lost_count = 0
-        self._delivered_count = 0
-
-    @property
-    def loss_probability(self) -> float:
-        """Configured per-push loss probability."""
-        return self._loss_probability
-
-    @property
-    def lost_count(self) -> int:
-        """Total pushes redirected to self so far."""
-        return self._lost_count
-
-    @property
-    def delivered_count(self) -> int:
-        """Total pushes delivered to their intended target so far."""
-        return self._delivered_count
-
-    def apply(self, senders: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """Rewrite lost pushes to their senders.
-
-        Parameters
-        ----------
-        senders:
-            Node id of the sender of each push.
-        targets:
-            Intended receiver of each push; same shape as ``senders``.
-
-        Returns
-        -------
-        numpy.ndarray
-            Effective receivers: ``targets`` where delivered, ``senders``
-            where lost. The input arrays are not modified.
-        """
-        senders = np.asarray(senders)
-        targets = np.asarray(targets)
-        if senders.shape != targets.shape:
-            raise ValueError(
-                f"senders shape {senders.shape} != targets shape {targets.shape}"
-            )
-        if self._loss_probability == 0.0 or targets.size == 0:
-            self._delivered_count += int(targets.size)
-            return targets.copy()
-        lost = self._rng.random(targets.shape) < self._loss_probability
-        self._lost_count += int(lost.sum())
-        self._delivered_count += int(targets.size - lost.sum())
-        return np.where(lost, senders, targets)
-
-    def reset_counters(self) -> None:
-        """Zero the delivered/lost counters (configuration is kept)."""
-        self._lost_count = 0
-        self._delivered_count = 0
-
-
-def no_loss() -> PacketLossModel:
-    """A :class:`PacketLossModel` that never loses a push."""
-    return PacketLossModel(0.0, rng=0)
+__all__ = ["PacketLossModel", "no_loss"]

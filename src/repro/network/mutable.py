@@ -144,6 +144,16 @@ class MutableOverlay:
         """Whether the undirected edge between peers ``u`` and ``v`` exists."""
         return u in self._adj and v in self._adj[u]
 
+    def edges(self) -> List[Edge]:
+        """Live undirected edges as canonical ``(min, max)`` pairs, sorted.
+
+        A materialised list (not a generator), so callers may mutate the
+        overlay while iterating — partition cuts remove edges mid-walk.
+        """
+        return sorted(
+            (u, v) for u, nbrs in self._adj.items() for v in nbrs if u < v
+        )
+
     def check_invariants(self) -> None:
         """Assert the overlay's internal counts describe one edge set.
 
@@ -398,7 +408,9 @@ class MutableOverlay:
         self._invalidate()
         return former
 
-    def bridge_components(self, *, rng: RngLike = None) -> int:
+    def bridge_components(
+        self, *, rng: RngLike = None, groups: "Optional[Dict[int, int]]" = None
+    ) -> int:
         """Overlay maintenance: reconnect components churn split off.
 
         Departures can partition the overlay, and a partitioned overlay
@@ -408,6 +420,17 @@ class MutableOverlay:
         non-giant component gets one edge from a random member to a
         random member of the giant component. Returns the number of
         bridge edges added (0 when already connected).
+
+        When ``groups`` is given (a mapping from peer id to group
+        label), bridging is restricted to *within each group*: every
+        group's non-giant components connect to that group's own giant.
+        A scheduled partition (see
+        :class:`repro.network.conditions.EpochPartition`) deliberately
+        holds groups apart, so churn repair during an active partition
+        must not re-join them — each fragment lies entirely inside one
+        group once the cross-group edges are cut, and its repairs stay
+        there. Peers missing from the mapping form their own singleton
+        groups and are left untouched.
         """
         import scipy.sparse.csgraph
 
@@ -419,20 +442,37 @@ class MutableOverlay:
             return 0
         generator = as_generator(rng)
         sizes = np.bincount(labels, minlength=num_components)
-        giant = int(sizes.argmax())
-        giant_members = np.flatnonzero(labels == giant)
+        if groups is None:
+            component_pool = {0: list(range(num_components))}
+        else:
+            # Assign each component the group of its lowest-id member
+            # (fragments are group-pure while a partition is active, and
+            # a mixed fragment is already a cross-group path no bridge
+            # can worsen).
+            component_pool = {}
+            for label in range(num_components):
+                members = np.flatnonzero(labels == label)
+                group = groups.get(int(pids[members[0]]), -1 - label)
+                component_pool.setdefault(group, []).append(label)
         bridges = 0
-        for label in range(num_components):
-            if label == giant:
+        for pool in component_pool.values():
+            if len(pool) <= 1:
                 continue
-            members = np.flatnonzero(labels == label)
-            u = int(pids[members[generator.integers(members.shape[0])]])
-            v = int(pids[giant_members[generator.integers(giant_members.shape[0])]])
-            # u and v sit in different components, so (u, v) cannot
-            # exist — but the skip is explicit, never an assumption
-            # about _record_edge silently tolerating duplicates.
-            if self._record_edge(u, v):
-                bridges += 1
+            giant = max(pool, key=lambda label: (sizes[label], -label))
+            giant_members = np.flatnonzero(labels == giant)
+            for label in pool:
+                if label == giant:
+                    continue
+                members = np.flatnonzero(labels == label)
+                u = int(pids[members[generator.integers(members.shape[0])]])
+                v = int(
+                    pids[giant_members[generator.integers(giant_members.shape[0])]]
+                )
+                # u and v sit in different components, so (u, v) cannot
+                # exist — but the skip is explicit, never an assumption
+                # about _record_edge silently tolerating duplicates.
+                if self._record_edge(u, v):
+                    bridges += 1
         return bridges
 
     # -- snapshots -----------------------------------------------------------

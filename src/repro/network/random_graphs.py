@@ -6,7 +6,10 @@ The differential rule's entire advantage comes from degree skew: on a
 claim falsifiable:
 
 - :func:`erdos_renyi_graph` — G(n, p): light-tailed Poisson degrees;
-- :func:`random_regular_graph` — every degree identical.
+- :func:`random_regular_graph` — every degree identical;
+- :func:`regional_graph` — a planted-partition overlay (dense regions,
+  sparse cross-region links) whose region blocks line up with
+  :class:`repro.network.conditions.RegionalLinkModel`.
 
 `benchmarks/bench_ablation_overlay.py` runs the same convergence
 experiment on PA vs ER vs regular and shows the differential/normal gap
@@ -19,6 +22,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.network.conditions import block_regions
 from repro.network.graph import Graph
 from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_probability
@@ -105,6 +109,78 @@ def random_regular_graph(num_nodes: int, degree: int, *, rng: RngLike = None, ma
         f"pairing model failed to produce a simple {degree}-regular graph "
         f"on {num_nodes} nodes within {max_retries} attempts"
     )
+
+
+def regional_graph(
+    num_nodes: int,
+    num_regions: int,
+    *,
+    intra_probability: float = 0.2,
+    inter_probability: float = 0.01,
+    rng: RngLike = None,
+) -> Graph:
+    """Planted-partition overlay: dense regions, sparse cross links.
+
+    Nodes are split into ``num_regions`` contiguous blocks by
+    :func:`repro.network.conditions.block_regions`, so the same
+    ``num_regions`` handed to
+    :class:`~repro.network.conditions.RegionalLinkModel` assigns every
+    peer the region its topology was generated in. Within a region each
+    pair is linked with ``intra_probability``; across regions with
+    ``inter_probability``. Connectivity is guaranteed: each region gets
+    a Hamiltonian path through its block and consecutive regions are
+    joined by one deterministic bridge edge (block boundaries), so even
+    ``inter_probability=0`` yields a single component.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes.
+    num_regions:
+        Number of contiguous region blocks; must be in ``[1, num_nodes]``.
+    intra_probability:
+        Edge probability for same-region pairs.
+    inter_probability:
+        Edge probability for cross-region pairs.
+    rng:
+        Seed / generator.
+
+    Examples
+    --------
+    >>> g = regional_graph(60, 3, rng=5)
+    >>> g.is_connected()
+    True
+    >>> from repro.network.conditions import block_regions
+    >>> regions = block_regions(60, 3)
+    >>> intra = sum(1 for u, v in g.edges() if regions[u] == regions[v])
+    >>> intra > g.num_edges - intra  # regions are denser than cross links
+    True
+    """
+    if num_nodes < 1:
+        raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+    if not 1 <= num_regions <= num_nodes:
+        raise ValueError(
+            f"num_regions must be in [1, {num_nodes}], got {num_regions}"
+        )
+    check_probability(intra_probability, "intra_probability")
+    check_probability(inter_probability, "inter_probability")
+    generator = as_generator(rng)
+    regions = block_regions(num_nodes, num_regions)
+
+    rows, cols = np.triu_indices(num_nodes, k=1)
+    same = regions[rows] == regions[cols]
+    probs = np.where(same, intra_probability, inter_probability)
+    mask = generator.random(rows.shape[0]) < probs
+    edge_set = set(zip(rows[mask].tolist(), cols[mask].tolist()))
+    # Deterministic connectivity spine: a path through each block plus a
+    # bridge between consecutive blocks (their boundary nodes).
+    for u in range(num_nodes - 1):
+        if regions[u] == regions[u + 1]:
+            edge_set.add((u, u + 1))
+    boundaries = np.flatnonzero(np.diff(regions)).tolist()
+    for u in boundaries:
+        edge_set.add((u, u + 1))
+    return Graph(num_nodes, sorted(edge_set))
 
 
 def _repair_pairing(pairs: List[List[int]], generator, max_swaps: int) -> bool:

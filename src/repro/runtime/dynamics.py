@@ -82,6 +82,7 @@ from repro.core.backend import (
     resolve_backend_name,
     run_backend,
 )
+from repro.network.conditions import EpochPartition
 from repro.network.graph import Graph
 from repro.network.mutable import MutableOverlay
 from repro.runtime.trace import ChurnTrace
@@ -94,6 +95,11 @@ EPOCH_STREAM_KEY = 0xD1AA0000
 #: Per-epoch child key of the adversary stream (clear of the gossip
 #: block keys 1, 2, 3, ... used by the accuracy stop rule).
 ATTACK_EPOCH_KEY = 0xA77AC
+
+#: Per-epoch child key of the partition-repair stream (clear of the
+#: gossip block keys and the attack key). Runs without a partition
+#: never derive it, so installing one cannot perturb existing replays.
+PARTITION_EPOCH_KEY = 0x9A1717
 
 #: Epoch stop rules (see module docstring).
 STOP_RULES = ("accuracy", "protocol")
@@ -285,6 +291,22 @@ class DynamicReputationRuntime:
         through :meth:`join_attacker`, oscillators flip opinions through
         :meth:`republish_opinion`. The event count lands in
         :attr:`EpochRecord.attack_events`.
+    partition:
+        Optional :class:`repro.network.conditions.EpochPartition`
+        replayed against the overlay: every epoch in
+        ``[start_epoch, heal_epoch)`` the cross-group edges
+        (``group = pid % num_groups``) are cut — including any fresh
+        ones churn or attacks wired — and each group is re-bridged
+        internally so it keeps aggregating as its own island; at
+        ``heal_epoch`` the surviving cut edges (both endpoints alive,
+        edge not re-wired meanwhile) are restored. Churn repair during
+        the window is group-scoped (see
+        :meth:`MutableOverlay.bridge_components`), so overlay
+        maintenance never heals the partition early. Cut/restore/bridge
+        totals land on :attr:`partition_cut_edges`,
+        :attr:`partition_restored_edges` and :attr:`partition_bridges`
+        (runtime-level counters; epoch records are unchanged so replay
+        goldens stay stable).
     """
 
     def __init__(
@@ -303,6 +325,7 @@ class DynamicReputationRuntime:
         drift_scale: float = 0.1,
         attachment_m: int = 2,
         attack=None,
+        partition: Optional[EpochPartition] = None,
     ):
         if stop_rule not in STOP_RULES:
             raise ValueError(f"stop_rule must be one of {STOP_RULES}, got {stop_rule!r}")
@@ -351,6 +374,22 @@ class DynamicReputationRuntime:
         self._drift_scale = float(drift_scale)
         self._m = int(attachment_m)
         self._attack = attack
+        if partition is not None and not isinstance(partition, EpochPartition):
+            raise ValueError(
+                f"partition must be an EpochPartition, got {type(partition).__name__}"
+            )
+        self._partition = partition
+        # Cross-group edges removed by the active partition, pending
+        # restoration at heal_epoch.
+        self._cut_edges: "set" = set()
+        #: Cross-group edges cut over the run (re-cuts of churn-wired
+        #: edges included).
+        self.partition_cut_edges = 0
+        #: Cut edges restored at heal time (both endpoints still alive,
+        #: edge not re-wired meanwhile).
+        self.partition_restored_edges = 0
+        #: Intra-group bridge edges added to keep each island connected.
+        self.partition_bridges = 0
         # Departures caused by the attack hook this epoch (bridge gate).
         self._attack_removed_peers = 0
         # Replay root + epoch counter, bound by initialize(); every
@@ -487,7 +526,9 @@ class DynamicReputationRuntime:
             # globally (each island would converge to its own mean).
             # Joins and rewires only add edges, so the O(N + E)
             # connected-components sweep is skipped without them.
-            self._overlay.bridge_components(rng=rng)
+            # During a scheduled partition window the repair is
+            # group-scoped so maintenance never re-joins the islands.
+            self._overlay.bridge_components(rng=rng, groups=self._partition_groups(epoch))
         arrivals = self._apply_arrivals(epoch, arrivals, rng)
         self._apply_drift(rng)
 
@@ -502,7 +543,11 @@ class DynamicReputationRuntime:
                 # Only identity churn (whitewash leave/rejoin) can split
                 # the overlay; republish/join-only attacks skip the
                 # O(N + E) sweep, same as the join-only branch above.
-                self._overlay.bridge_components(rng=attack_rng)
+                self._overlay.bridge_components(
+                    rng=attack_rng, groups=self._partition_groups(epoch)
+                )
+
+        self._apply_partition(epoch, seed)
 
         graph, pids = overlay.snapshot()
         warm = self._warm_start and epoch > 0
@@ -554,6 +599,64 @@ class DynamicReputationRuntime:
             elapsed_seconds=time.perf_counter() - started,
             attack_events=attack_events,
         )
+
+    def _partition_groups(self, epoch: int) -> "Optional[Dict[int, int]]":
+        """Group-scoping map for overlay repair while the partition is
+        active (``None`` otherwise — the unscoped legacy behaviour)."""
+        if self._partition is None or not self._partition.active(epoch):
+            return None
+        return {
+            int(pid): self._partition.group(int(pid))
+            for pid in self._overlay.peer_ids()
+        }
+
+    def _apply_partition(self, epoch: int, seed: np.random.SeedSequence) -> None:
+        """Replay the scheduled partition: cut cross-group edges while
+        the window is active, restore the survivors at heal time.
+
+        Runs after churn and the attack hook (so edges those wired
+        across the divide are cut the same epoch) and before the
+        snapshot the gossip round runs on. The cut itself is
+        deterministic — which edges go is a pure function of the edge
+        set and ``pid % num_groups`` — and only the intra-group
+        re-bridging draws randomness, from a dedicated
+        ``PARTITION_EPOCH_KEY`` child stream so partition-free replays
+        are untouched.
+        """
+        partition = self._partition
+        if partition is None:
+            return
+        overlay = self._overlay
+        if partition.active(epoch):
+            cut = 0
+            for u, v in overlay.edges():
+                if partition.group(u) != partition.group(v):
+                    overlay.remove_edge(u, v)
+                    self._cut_edges.add((u, v))
+                    cut += 1
+            self.partition_cut_edges += cut
+            if cut:
+                # Cutting can fragment a group whose internal
+                # connectivity ran through the far side; re-bridge each
+                # group into one island.
+                part_rng = np.random.default_rng(
+                    stateless_child_sequence(seed, PARTITION_EPOCH_KEY)
+                )
+                self.partition_bridges += overlay.bridge_components(
+                    rng=part_rng, groups=self._partition_groups(epoch)
+                )
+        elif self._cut_edges and epoch >= partition.heal_epoch:
+            restored = 0
+            for u, v in sorted(self._cut_edges):
+                if (
+                    overlay.has_peer(u)
+                    and overlay.has_peer(v)
+                    and not overlay.has_edge(u, v)
+                ):
+                    overlay.add_edge(u, v)
+                    restored += 1
+            self._cut_edges.clear()
+            self.partition_restored_edges += restored
 
     def _run_to_accuracy(
         self,
@@ -761,6 +864,7 @@ def run_dynamic(
     drift_scale: float = 0.1,
     attachment_m: int = 2,
     attack=None,
+    partition: Optional[EpochPartition] = None,
 ) -> DynamicRunResult:
     """Run reputation aggregation over a churning overlay, one epoch per trace entry.
 
@@ -781,7 +885,7 @@ def run_dynamic(
     config:
         Shared gossip knobs (:class:`repro.core.backend.GossipConfig`).
     backend, warm_start, stop_rule, epoch_tol, block_steps, warm_warmup_steps, \
-newcomer_policy, opinion_drift, drift_scale, attachment_m, attack:
+newcomer_policy, opinion_drift, drift_scale, attachment_m, attack, partition:
         See :class:`DynamicReputationRuntime`.
 
     Examples
@@ -812,5 +916,6 @@ newcomer_policy, opinion_drift, drift_scale, attachment_m, attack:
         drift_scale=drift_scale,
         attachment_m=attachment_m,
         attack=attack,
+        partition=partition,
     )
     return runtime.run(trace)

@@ -21,6 +21,7 @@ from repro.scenarios.spec import (
     AttackSpec,
     ChurnSpec,
     DynamicSpec,
+    NetworkSpec,
     Scenario,
     ScenarioResult,
     ServiceSpec,
@@ -37,6 +38,7 @@ __all__ = [
     "AttackSpec",
     "ChurnSpec",
     "DynamicSpec",
+    "NetworkSpec",
     "Scenario",
     "ScenarioResult",
     "ServiceSpec",

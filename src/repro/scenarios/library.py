@@ -1,21 +1,26 @@
 """The seeded scenario catalogue.
 
-Twelve scenarios ship with the repro, spanning the design space the
+Fifteen scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
-churn × attack × dynamics × service × backend), so new scenarios are a
-registration call away — no new plumbing. The two dynamic scenarios
-(``flash-crowd``, ``steady-churn-100k``) run the epoch runtime of
-:mod:`repro.runtime` instead of a single static round, ``service-soak``
-streams a seeded report workload through the serving layer of
-:mod:`repro.service` (bounded ingest, snapshot swaps, backpressure),
-``million-peer-sharded`` exercises the multi-process sharded backend
-at the scale it exists for, three adversary scenarios
+churn × network × attack × dynamics × service × backend), so new
+scenarios are a registration call away — no new plumbing. The two
+dynamic scenarios (``flash-crowd``, ``steady-churn-100k``) run the
+epoch runtime of :mod:`repro.runtime` instead of a single static round,
+``service-soak`` streams a seeded report workload through the serving
+layer of :mod:`repro.service` (bounded ingest, snapshot swaps,
+backpressure), ``million-peer-sharded`` exercises the multi-process
+sharded backend at the scale it exists for, three adversary scenarios
 (``slander-under-churn``, ``sybil-flood-100k``,
 ``oscillating-colluders-sharded``) sweep the attack registry of
-:mod:`repro.attacks.models` across the backend spectrum, and
+:mod:`repro.attacks.models` across the backend spectrum,
 ``computing-vs-delegating`` gossips Golem-style computing + delegating
 dual ranks as two channels of a single multi-channel pass under a
-cross-channel slander coalition (the honest rank must stay clean).
+cross-channel slander coalition (the honest rank must stay clean), and
+three network-conditions scenarios (``wan-vs-lan``, ``flaky-region``,
+``partition-under-attack``) drive the link models of
+:mod:`repro.network.conditions` — regional latency on the event-driven
+async backend, a lossy region, and a scheduled partition healing under
+an active adversary.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.scenarios.spec import (
     AttackSpec,
     ChurnSpec,
     DynamicSpec,
+    NetworkSpec,
     Scenario,
     ServiceSpec,
     TopologySpec,
@@ -261,6 +267,117 @@ COMPUTING_VS_DELEGATING = register_scenario(
         backend="auto",
         xi=1e-5,
         seed=422,
+    )
+)
+
+WAN_VS_LAN = register_scenario(
+    Scenario(
+        name="wan-vs-lan",
+        description=(
+            "Network realism on the event-driven async backend: a regional "
+            "overlay (dense LAN blocks, sparse WAN links) where intra-region "
+            "pushes land after a short exponential delay and cross-region "
+            "pushes take 10x longer through a bandwidth-capped WAN pipe — "
+            "mass stays exactly conserved across all in-flight traffic."
+        ),
+        topology=TopologySpec(
+            kind="regional",
+            num_nodes=1000,
+            small_num_nodes=150,
+            num_regions=4,
+            intra_p=0.08,
+            inter_p=0.005,
+        ),
+        workload=WorkloadSpec(kind="mean"),
+        network=NetworkSpec(
+            kind="regional",
+            num_regions=4,
+            latency_kind="exponential",
+            latency_mean=0.05,
+            inter_latency_mean=0.5,
+            inter_bandwidth=50.0,
+        ),
+        backend="auto",  # latency steers this to "async"
+        xi=1e-4,
+        max_steps=5_000,
+        seed=423,
+    )
+)
+
+FLAKY_REGION = register_scenario(
+    Scenario(
+        name="flaky-region",
+        description=(
+            "One region of four drops 40% of the pushes it sends or receives "
+            "(on top of mild uniform loss) while everyone gossips the network "
+            "mean: the mass-conserving self-redirect keeps the estimate exact, "
+            "the flaky region just converges last."
+        ),
+        topology=TopologySpec(
+            kind="regional",
+            num_nodes=1000,
+            small_num_nodes=150,
+            num_regions=4,
+            intra_p=0.08,
+            inter_p=0.005,
+        ),
+        workload=WorkloadSpec(kind="mean"),
+        network=NetworkSpec(
+            kind="regional",
+            num_regions=4,
+            loss=0.02,
+            inter_loss=0.05,
+            latency_kind="exponential",
+            latency_mean=0.05,
+            inter_latency_mean=0.2,
+            flaky_region=2,
+            flaky_loss=0.4,
+        ),
+        backend="auto",
+        xi=1e-4,
+        max_steps=5_000,
+        seed=424,
+    )
+)
+
+PARTITION_UNDER_ATTACK = register_scenario(
+    Scenario(
+        name="partition-under-attack",
+        description=(
+            "A scheduled partition splits the dynamic overlay into two groups "
+            "for epochs 3-6 while on-off slanderers keep poisoning reports; "
+            "overlay repair stays group-scoped during the window, the cut "
+            "edges heal at epoch 7, and the re-joined network re-converges "
+            "warm to one global estimate."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=2000, small_num_nodes=300, m=2),
+        workload=WorkloadSpec(kind="mean"),
+        network=NetworkSpec(
+            kind="regional",
+            num_regions=2,
+            partition_start=3,
+            partition_duration=4,
+            partition_groups=2,
+        ),
+        attack=AttackSpec(
+            kind="on-off",
+            fraction=0.05,
+            victim_fraction=0.1,
+            max_victims=20,
+            period=2,
+            on_epochs=1,
+        ),
+        dynamic=DynamicSpec(
+            epochs=10,
+            join_rate=0.005,
+            leave_rate=0.005,
+            opinion_drift=0.01,
+            newcomer_trust=0.2,
+        ),
+        backend="auto",
+        xi=1e-5,
+        max_steps=400,
+        seed=425,
     )
 )
 

@@ -23,14 +23,23 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.attacks.models import AttackModel
+    from repro.network.conditions import EpochPartition, LatencySpec, LinkModel
 
 from repro.core.backend import GossipConfig, choose_backend_name, resolve_backend_name
 from repro.facade import aggregate
 from repro.network.graph import Graph
 from repro.utils.rng import as_generator
 
-TOPOLOGY_KINDS = ("powerlaw", "powerlaw-fast", "erdos-renyi", "random-regular", "example")
+TOPOLOGY_KINDS = (
+    "powerlaw",
+    "powerlaw-fast",
+    "erdos-renyi",
+    "random-regular",
+    "regional",
+    "example",
+)
 WORKLOAD_KINDS = ("mean", "trust-global", "trust-gclr", "free-riding", "dual-rank")
+NETWORK_KINDS = ("uniform", "regional")
 
 
 @dataclass(frozen=True)
@@ -47,10 +56,15 @@ class TopologySpec:
     m: int = 2  # preferential attachment
     p: float = 0.02  # erdos-renyi edge probability
     degree: int = 4  # random-regular
+    num_regions: int = 4  # regional (planted partition)
+    intra_p: float = 0.2  # regional: same-region edge probability
+    inter_p: float = 0.01  # regional: cross-region edge probability
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
             raise ValueError(f"topology kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}")
+        if self.num_regions < 1:
+            raise ValueError(f"num_regions must be >= 1, got {self.num_regions}")
 
     def size(self, small: bool) -> int:
         """Node count at the requested scale."""
@@ -75,6 +89,16 @@ class TopologySpec:
             from repro.network.random_graphs import random_regular_graph
 
             return random_regular_graph(n, self.degree, rng=rng)
+        if self.kind == "regional":
+            from repro.network.random_graphs import regional_graph
+
+            return regional_graph(
+                n,
+                self.num_regions,
+                intra_probability=self.intra_p,
+                inter_probability=self.inter_p,
+                rng=rng,
+            )
         from repro.network.topology_example import example_network
 
         return example_network()
@@ -129,6 +153,140 @@ class ChurnSpec:
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_probability <= 1.0:
             raise ValueError(f"loss_probability must be in [0, 1], got {self.loss_probability}")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network-conditions axis: link models for the scenario's pushes.
+
+    Where :class:`ChurnSpec` keeps the paper's uniform instant loss,
+    this axis reaches the full :mod:`repro.network.conditions` surface:
+    per-edge latency distributions, bandwidth caps, region structure
+    and scheduled partitions. Two kinds:
+
+    - ``"uniform"``: every edge shares ``loss`` and one latency
+      distribution (``latency_kind``/``latency_mean``/
+      ``latency_spread``). With zero latency this is exactly the
+      legacy loss path (:class:`~repro.network.conditions.InstantLink`).
+    - ``"regional"``: peers split into ``num_regions`` contiguous
+      blocks — LAN conditions inside a region (``loss``,
+      ``latency_mean``), WAN conditions across (``inter_loss``,
+      ``inter_latency_mean``, optional ``inter_bandwidth`` cap), an
+      optionally flaky region, and an optional scheduled partition
+      window (``partition_start`` .. ``+ partition_duration``) that
+      heals.
+
+    For static scenarios the spec builds a
+    :class:`~repro.network.conditions.LinkModel` handed to
+    ``GossipConfig(network=...)`` — latency-bearing models steer
+    ``"auto"`` to the event-driven async backend. For dynamic scenarios
+    only the partition fields apply (:meth:`epoch_partition` replays
+    cut-and-heal through the mutable overlay; ``partition_start`` and
+    ``partition_duration`` are then epoch counts).
+    """
+
+    kind: str = "uniform"
+    loss: float = 0.0  # uniform loss; intra-region loss for "regional"
+    latency_kind: str = "exponential"
+    latency_mean: float = 0.0  # uniform latency; intra-region for "regional"
+    latency_spread: float = 0.0
+    num_regions: int = 4
+    inter_loss: float = 0.0
+    inter_latency_mean: float = 0.0
+    inter_bandwidth: Optional[float] = None
+    flaky_region: Optional[int] = None
+    flaky_loss: float = 0.5
+    partition_start: Optional[float] = None  # simulated time (static) / epoch (dynamic)
+    partition_duration: float = 0.0
+    partition_groups: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in NETWORK_KINDS:
+            raise ValueError(f"network kind must be one of {NETWORK_KINDS}, got {self.kind!r}")
+        for name in ("loss", "inter_loss", "flaky_loss"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("latency_mean", "latency_spread", "inter_latency_mean"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.num_regions < 1:
+            raise ValueError(f"num_regions must be >= 1, got {self.num_regions}")
+        if self.partition_start is not None and self.partition_duration <= 0:
+            raise ValueError(
+                f"partition_duration must be positive with partition_start set, "
+                f"got {self.partition_duration}"
+            )
+        if self.partition_groups < 2:
+            raise ValueError(f"partition_groups must be >= 2, got {self.partition_groups}")
+        if self.kind == "uniform" and self.partition_start is not None:
+            raise ValueError(
+                "partition windows need region structure; use kind='regional'"
+            )
+
+    def _latency(self, mean: float) -> "LatencySpec":
+        from repro.network.conditions import INSTANT, LatencySpec
+
+        if mean == 0.0:
+            return INSTANT
+        spread = self.latency_spread
+        if self.latency_kind == "uniform":
+            spread = min(spread, mean)
+        return LatencySpec(kind=self.latency_kind, mean=mean, spread=spread)
+
+    @property
+    def has_latency(self) -> bool:
+        """Whether the built link model forces the event-driven backend."""
+        return self.build_link().has_latency
+
+    def build_link(self) -> "LinkModel":
+        """The :class:`~repro.network.conditions.LinkModel` this spec names."""
+        from repro.network.conditions import (
+            HomogeneousLink,
+            InstantLink,
+            PartitionWindow,
+            RegionalLinkModel,
+        )
+
+        if self.kind == "uniform":
+            latency = self._latency(self.latency_mean)
+            if latency.is_instant:
+                return InstantLink(self.loss)
+            return HomogeneousLink(self.loss, latency=latency)
+        partitions = (
+            (PartitionWindow(self.partition_start, self.partition_duration),)
+            if self.partition_start is not None
+            else ()
+        )
+        return RegionalLinkModel(
+            self.num_regions,
+            intra_loss=self.loss,
+            inter_loss=self.inter_loss,
+            intra_latency=self._latency(self.latency_mean),
+            inter_latency=self._latency(self.inter_latency_mean),
+            inter_bandwidth=self.inter_bandwidth,
+            flaky_region=self.flaky_region,
+            flaky_loss=self.flaky_loss if self.flaky_region is not None else 0.0,
+            partitions=partitions,
+        )
+
+    def epoch_partition(self) -> "Optional[EpochPartition]":
+        """The dynamic-runtime partition schedule, or ``None``.
+
+        ``partition_start``/``partition_duration`` are read as epoch
+        counts: active from ``start`` until healing at
+        ``start + duration``.
+        """
+        if self.partition_start is None:
+            return None
+        from repro.network.conditions import EpochPartition
+
+        start = int(self.partition_start)
+        return EpochPartition(
+            start_epoch=start,
+            heal_epoch=start + int(self.partition_duration),
+            num_groups=self.partition_groups,
+        )
 
 
 @dataclass(frozen=True)
@@ -352,6 +510,7 @@ class Scenario:
     topology: TopologySpec
     workload: WorkloadSpec
     churn: ChurnSpec = field(default_factory=ChurnSpec)
+    network: Optional[NetworkSpec] = None
     attack: Optional[AttackSpec] = None
     dynamic: Optional[DynamicSpec] = None
     service: Optional["ServiceSpec"] = None
@@ -382,6 +541,36 @@ class Scenario:
                 raise ValueError(
                     "service scenarios fold trust reports into per-peer reputations "
                     f"(the 'mean' workload); got {self.workload.kind!r}"
+                )
+        if self.network is not None:
+            if self.churn.loss_probability > 0.0:
+                raise ValueError(
+                    "the network axis subsumes the churn loss knob; put the loss "
+                    "on NetworkSpec and drop ChurnSpec.loss_probability"
+                )
+            if self.dynamic is not None or self.service is not None:
+                if self.network.epoch_partition() is None:
+                    raise ValueError(
+                        "dynamic/service scenarios use the network axis only for "
+                        "scheduled partitions; set partition_start/partition_duration"
+                    )
+                if (
+                    self.network.latency_mean > 0.0
+                    or self.network.inter_latency_mean > 0.0
+                    or self.network.inter_bandwidth is not None
+                    or self.network.loss > 0.0
+                    or self.network.inter_loss > 0.0
+                ):
+                    raise ValueError(
+                        "epoch-driven runs have no simulated-time axis; dynamic "
+                        "network specs must carry only the partition schedule "
+                        "(zero latency/loss, no bandwidth cap)"
+                    )
+            elif self.network.has_latency and self.workload.kind != "mean":
+                raise ValueError(
+                    "latency-bearing network models run on the event-driven "
+                    "'async' backend, which gossips the scalar 'mean' workload "
+                    f"only; got {self.workload.kind!r}"
                 )
 
 
@@ -491,10 +680,20 @@ def run_scenario(
     )
     backend_name = backend if backend is not None else scenario.backend
     shard_workers = workers if workers is not None else executor
+    # Dynamic/service runs replay the network axis through the overlay
+    # (epoch partitions), not through a per-push link model.
+    network = (
+        scenario.network.build_link()
+        if scenario.network is not None
+        and scenario.dynamic is None
+        and scenario.service is None
+        else None
+    )
     config = GossipConfig(
         xi=scenario.xi,
         max_steps=scenario.max_steps,
         loss_probability=scenario.churn.loss_probability,
+        network=network,
         rng=int(root.integers(2**62)),
         num_shards=scenario.num_shards,
         shard_workers=shard_workers if shard_workers is not None else scenario.shard_workers,
@@ -514,8 +713,10 @@ def run_scenario(
     if backend_name == "auto":
         # Dual-rank gossips num_channels=2 state, which the message
         # engine cannot run — let the auto policy see that constraint.
+        # The config always rides along so latency-bearing network
+        # models steer to the event-driven async backend.
         auto_config = (
-            dataclasses.replace(config, num_channels=2) if kind == "dual-rank" else None
+            dataclasses.replace(config, num_channels=2) if kind == "dual-rank" else config
         )
         resolved = choose_backend_name(graph, auto_config)
     else:
@@ -566,6 +767,9 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         if scenario.attack is not None
         else None
     )
+    partition = (
+        scenario.network.epoch_partition() if scenario.network is not None else None
+    )
     start = time.perf_counter()
     result = run_dynamic(
         MutableOverlay.from_graph(graph),
@@ -580,6 +784,7 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         drift_scale=spec.drift_scale,
         attachment_m=scenario.topology.m,
         attack=attack,
+        partition=partition,
     )
     elapsed = time.perf_counter() - start
     final = result.final_record
@@ -596,12 +801,21 @@ def _run_dynamic(scenario, graph, config, backend, root, *, small):
         metrics["total_attack_events"] = float(
             sum(r.attack_events for r in result.records)
         )
+    if partition is not None:
+        metrics["partition_epochs"] = float(
+            sum(1 for r in result.records if partition.active(r.epoch))
+        )
     notes = [
         f"{'warm' if spec.warm_start else 'cold'}-start epochs under the "
         f"'{spec.stop_rule}' stop rule (tol={spec.epoch_tol:g})",
         f"churn trace: {'flash-crowd' if spec.flash else 'steady'} "
         f"(+{trace.total_arrivals}/-{trace.total_departures} sessions over {len(trace)} epochs)",
     ]
+    if partition is not None:
+        notes.append(
+            f"scheduled partition: {partition.num_groups} groups cut over epochs "
+            f"[{partition.start_epoch}, {partition.heal_epoch}), then healed"
+        )
     return ScenarioResult(
         name=scenario.name,
         backend=result.backend,
@@ -714,6 +928,8 @@ def _run_mean(scenario, graph, config, backend, root):
         "loss_probability": scenario.churn.loss_probability,
     }
     notes = ["mass-conserving self-push repair keeps the estimate exact under churn"]
+    if scenario.network is not None:
+        notes.append(f"network conditions: {config.network!r}")
     return outcome, metrics, notes
 
 

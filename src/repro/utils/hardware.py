@@ -36,3 +36,26 @@ def usable_cpu_count() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
         return max(1, os.cpu_count() or 1)
+
+
+def host_metadata(*, required_workers: int = 2) -> dict:
+    """The host stamp every benchmark artifact carries.
+
+    Timing numbers are meaningless without knowing what they ran on:
+    ``host_cpus`` is the affinity-aware usable count, and
+    ``parallelism_expressible`` records whether the host could actually
+    run ``required_workers`` concurrently — on a single-core CI runner a
+    multi-worker comparison measures orchestration overhead, not
+    speedup, and downstream readers must be able to tell.
+
+    Examples
+    --------
+    >>> meta = host_metadata()
+    >>> meta["host_cpus"] >= 1 and isinstance(meta["parallelism_expressible"], bool)
+    True
+    """
+    cpus = usable_cpu_count()
+    return {
+        "host_cpus": cpus,
+        "parallelism_expressible": cpus >= max(1, int(required_workers)),
+    }

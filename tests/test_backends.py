@@ -260,17 +260,23 @@ class TestCapabilityErrors:
                 backend="message",
             )
 
-    def test_async_rejects_extras_loss_and_matrix_state(self, fixture_values):
+    def test_async_rejects_extras_loss_model_and_matrix_state(self, fixture_values):
+        from repro.network.conditions import PacketLossModel
+
         g = example_network()
         with pytest.raises(BackendCapabilityError, match="extra"):
             run_backend(
                 g, fixture_values, np.ones(10),
                 extras={"count": np.ones(10)}, backend="async",
             )
-        with pytest.raises(BackendCapabilityError, match="packet loss"):
+        # Uniform loss_probability now runs natively (as an InstantLink);
+        # only an explicit pre-built loss_model is rejected, because its
+        # generator is not the derived link stream.
+        with pytest.raises(BackendCapabilityError, match="link model"):
             run_backend(
                 g, fixture_values, np.ones(10),
-                config=GossipConfig(loss_probability=0.2, rng=0), backend="async",
+                config=GossipConfig(loss_model=PacketLossModel(0.2, rng=0)),
+                backend="async",
             )
         with pytest.raises(BackendCapabilityError, match="scalar"):
             run_backend(g, np.ones((10, 3)), np.ones((10, 3)), backend="async")
@@ -517,3 +523,118 @@ class TestCsrRoundTripWithIsolatedNodes:
             # Isolated nodes keep their own value (they never gossip).
             assert out.estimates.reshape(-1)[3] == pytest.approx(3.0)
             assert out.estimates.reshape(-1)[5] == pytest.approx(5.0)
+
+
+class TestNetworkAxis:
+    """The ``network=`` axis: validation, capability errors, byte-identity."""
+
+    def test_network_must_be_a_link_model(self):
+        with pytest.raises(ValueError, match="LinkModel"):
+            GossipConfig(network=0.3)
+
+    def test_network_excludes_legacy_loss_knobs(self, fixture_values):
+        from repro.network.conditions import InstantLink, PacketLossModel
+
+        with pytest.raises(ValueError, match="not both"):
+            GossipConfig(network=InstantLink(0.1), loss_probability=0.2)
+        with pytest.raises(ValueError, match="not both"):
+            GossipConfig(network=InstantLink(0.1), loss_model=PacketLossModel(0.2, rng=0))
+
+    @pytest.mark.parametrize("backend", ["message", "dense", "sparse", "sharded"])
+    def test_sync_backends_reject_latency_models(self, fixture_values, backend):
+        from repro.network.conditions import HomogeneousLink, LatencySpec
+
+        config = GossipConfig(
+            rng=1, network=HomogeneousLink(latency=LatencySpec("exponential", 0.5))
+        )
+        with pytest.raises(BackendCapabilityError, match="step-synchronous"):
+            run_backend(
+                example_network(), fixture_values, np.ones(10),
+                config=config, backend=backend,
+            )
+
+    def test_sync_backends_reject_per_edge_loss(self, fixture_values):
+        from repro.network.conditions import RegionalLinkModel
+
+        config = GossipConfig(
+            rng=1, network=RegionalLinkModel(2, intra_loss=0.0, inter_loss=0.3)
+        )
+        with pytest.raises(BackendCapabilityError, match="per-edge"):
+            run_backend(
+                example_network(), fixture_values, np.ones(10),
+                config=config, backend="dense",
+            )
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse", "sharded"])
+    def test_loss_only_network_byte_identical_to_loss_probability(
+        self, fixture_values, backend
+    ):
+        from repro.network.conditions import InstantLink
+
+        legacy = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(xi=1e-8, rng=11, loss_probability=0.3),
+            backend=backend,
+        )
+        linked = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(xi=1e-8, rng=11, network=InstantLink(0.3)),
+            backend=backend,
+        )
+        assert linked.steps == legacy.steps
+        assert np.array_equal(linked.values, legacy.values)
+        assert np.array_equal(linked.weights, legacy.weights)
+
+    def test_uniform_regional_loss_resolves_on_sync_backends(self, fixture_values):
+        from repro.network.conditions import RegionalLinkModel
+
+        out = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(
+                xi=1e-8, rng=2,
+                network=RegionalLinkModel(2, intra_loss=0.2, inter_loss=0.2),
+            ),
+            backend="dense",
+        )
+        assert np.allclose(out.estimates, TRUE_MEAN, atol=1e-4)
+
+    def test_auto_steers_latency_models_to_async(self):
+        from repro.network.conditions import HomogeneousLink, InstantLink, LatencySpec
+
+        latency = GossipConfig(
+            network=HomogeneousLink(latency=LatencySpec("exponential", 0.5))
+        )
+        assert choose_backend_name(example_network(), latency) == "async"
+        # Loss-only models keep the ordinary size-based policy.
+        loss_only = GossipConfig(network=InstantLink(0.3))
+        assert choose_backend_name(example_network(), loss_only) == "message"
+
+    def test_async_runs_latency_network_end_to_end(self, fixture_values):
+        from repro.network.conditions import HomogeneousLink, LatencySpec
+
+        out = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(
+                xi=1e-5, rng=4,
+                network=HomogeneousLink(0.05, latency=LatencySpec("exponential", 0.2)),
+            ),
+            backend="auto",
+        )
+        assert float(out.values.sum()) == pytest.approx(45.0, rel=1e-9)
+        assert np.allclose(out.estimates, TRUE_MEAN, atol=5e-2)
+
+    def test_async_loss_probability_matches_instant_link(self, fixture_values):
+        from repro.network.conditions import InstantLink
+
+        legacy = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(xi=1e-5, rng=6, loss_probability=0.2),
+            backend="async",
+        )
+        linked = run_backend(
+            example_network(), fixture_values, np.ones(10),
+            config=GossipConfig(xi=1e-5, rng=6, network=InstantLink(0.2)),
+            backend="async",
+        )
+        assert np.array_equal(linked.values, legacy.values)
+        assert np.array_equal(linked.weights, legacy.weights)

@@ -112,3 +112,63 @@ class TestRunControls:
         sched.schedule(1.0, lambda s: s.schedule_after(1.0, lambda s2: fired.append("child")))
         sched.run()
         assert fired == ["child"]
+
+
+class TestCancellationRegressions:
+    """Regressions for the interactions the async engine leans on:
+    stable FIFO tie-break even when some tied events are cancelled, and
+    cancellation being a silent no-op once an event has already fired."""
+
+    def test_tie_break_survives_interleaved_cancellation(self):
+        # Five events tied at t=1; cancelling the 1st, 3rd and 5th must
+        # not disturb the insertion order of the survivors (a heap that
+        # re-keys on removal would reshuffle them).
+        sched = EventScheduler()
+        fired = []
+        handles = [
+            sched.schedule(1.0, lambda s, tag=tag: fired.append(tag))
+            for tag in ("a", "b", "c", "d", "e")
+        ]
+        handles[0].cancel()
+        handles[2].cancel()
+        handles[4].cancel()
+        assert sched.pending == 2
+        assert sched.run() == 2
+        assert fired == ["b", "d"]
+
+    def test_tie_break_with_cancellation_is_replay_deterministic(self):
+        def replay():
+            sched = EventScheduler()
+            fired = []
+            keep = []
+            for tag in range(20):
+                handle = sched.schedule(1.0, lambda s, t=tag: fired.append(t))
+                keep.append((tag, handle))
+            for tag, handle in keep:
+                if tag % 3 == 0:
+                    handle.cancel()
+            sched.run()
+            return fired
+
+        first = replay()
+        assert first == replay()
+        assert first == [t for t in range(20) if t % 3 != 0]
+
+    def test_cancel_after_fire_is_a_silent_noop(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda s: fired.append("x"))
+        sched.schedule(2.0, lambda s: fired.append("y"))
+        assert sched.step() == (1.0, None) or fired == ["x"]
+        handle.cancel()  # already fired: must not raise or eat "y"
+        assert handle.cancelled
+        assert sched.run() == 1
+        assert fired == ["x", "y"]
+
+    def test_cancel_twice_is_idempotent(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda s: None)
+        handle.cancel()
+        handle.cancel()
+        assert sched.pending == 0
+        assert sched.run() == 0

@@ -103,3 +103,75 @@ class TestAsyncProperties:
         )
         assert abs(float(out.values.sum()) - float(values.sum())) < 1e-9 * n
         assert abs(float(out.weights.sum()) - n) < 1e-9 * n
+
+    @SLOW
+    @given(
+        params=world,
+        loss=st.floats(min_value=0.0, max_value=0.5),
+        latency_mean=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_async_mass_conserved_in_flight_under_loss_and_latency(
+        self, params, loss, latency_mean
+    ):
+        """State + in-flight mass is exact at every event (check_mass
+        audits each one), and the flushed final state is exact too."""
+        from repro.network.conditions import HomogeneousLink, LatencySpec
+
+        n, seed = params
+        graph = _graph(n, seed)
+        values = np.random.default_rng(seed).random(n)
+        link = HomogeneousLink(loss, latency=LatencySpec("exponential", latency_mean))
+        out = AsyncGossipEngine(graph, rng=seed + 7, link=link, link_rng=seed + 8).run(
+            values, np.ones(n), xi=1e-4, quiet_window=2.0,
+            max_time=300.0, strict=False, check_mass=True,
+        )
+        assert abs(float(out.values.sum()) - float(values.sum())) < 1e-9 * n
+        assert abs(float(out.weights.sum()) - n) < 1e-9 * n
+
+    @SLOW
+    @given(params=world)
+    def test_async_mass_conserved_across_partition_and_heal(self, params):
+        """Partition drops self-redirect, so mass survives cut + heal."""
+        from repro.network.conditions import (
+            LatencySpec,
+            PartitionWindow,
+            RegionalLinkModel,
+        )
+
+        n, seed = params
+        graph = _graph(n, seed)
+        values = np.random.default_rng(seed).random(n)
+        link = RegionalLinkModel(
+            2,
+            intra_latency=LatencySpec("exponential", 0.05),
+            partitions=(PartitionWindow(start=1.0, duration=5.0),),
+        )
+        out = AsyncGossipEngine(graph, rng=seed + 9, link=link, link_rng=seed + 10).run(
+            values, np.ones(n), xi=1e-4, quiet_window=2.0,
+            max_time=300.0, strict=False, check_mass=True,
+        )
+        assert abs(float(out.values.sum()) - float(values.sum())) < 1e-9 * n
+        assert abs(float(out.weights.sum()) - n) < 1e-9 * n
+
+    @SLOW
+    @given(params=world)
+    def test_async_agrees_with_sparse_fixpoint(self, params):
+        """The event-driven engine and the sparse synchronous backend
+        settle on the same mean estimate for the same inputs."""
+        from repro.core.backend import GossipConfig, run_backend
+
+        n, seed = params
+        graph = _graph(n, seed)
+        values = np.random.default_rng(seed).random(n)
+        sparse = run_backend(
+            graph, values, np.ones(n),
+            config=GossipConfig(xi=1e-8, rng=seed + 11), backend="sparse",
+        )
+        async_out = AsyncGossipEngine(graph, rng=seed + 12).run(
+            values, np.ones(n), xi=1e-5, quiet_window=4.0, max_time=1000.0
+        )
+        assert np.allclose(sparse.estimates, values.mean(), atol=2e-3)
+        assert np.allclose(async_out.estimates, values.mean(), atol=2e-2)
+        assert sparse.estimates.mean() == pytest.approx(
+            async_out.estimates.mean(), abs=1e-2
+        )

@@ -299,3 +299,78 @@ class TestDynamicScenarios:
         result = run_scenario(scenario, small=True)
         assert result.backend == "dense"
         assert result.converged_fraction == 1.0
+
+
+class TestEpochPartition:
+    """The epoch-indexed partition schedule replayed on the overlay."""
+
+    def _run(self, *, epochs=8, n=80, seed=21, heal=5):
+        from repro.network.conditions import EpochPartition
+
+        trace = ChurnTrace.steady(
+            epochs, population=n, join_rate=0.02, leave_rate=0.02, seed=seed
+        )
+        runtime = DynamicReputationRuntime(
+            small_overlay(n, seed=seed + 1),
+            config=GossipConfig(delta=0.0, max_steps=600),
+            backend="dense",
+            partition=EpochPartition(start_epoch=2, heal_epoch=heal),
+        )
+        return runtime, runtime.run(trace)
+
+    def test_counters_track_cut_and_heal(self):
+        runtime, result = self._run()
+        assert runtime.partition_cut_edges > 0
+        assert runtime.partition_bridges > 0
+        assert 0 < runtime.partition_restored_edges <= runtime.partition_cut_edges
+        # Islands cannot agree on the global mean while cut off; after
+        # the heal the overlay re-mixes back to full accuracy.
+        window = result.records[2:5]
+        assert any(r.converged_fraction < 1.0 for r in window)
+        assert result.records[-1].converged_fraction == 1.0
+
+    def test_overlay_reconnects_after_heal(self):
+        runtime, _ = self._run()
+        graph, _ = runtime._overlay.snapshot()
+        assert graph.is_connected()
+
+    def test_group_scoped_repair_never_heals_early(self):
+        from repro.network.conditions import EpochPartition
+
+        schedule = EpochPartition(start_epoch=2, heal_epoch=5)
+        runtime, _ = self._run()
+        # During every active epoch the overlay held zero cross-group
+        # edges after the cut; the runtime re-cuts churn-wired edges each
+        # epoch, so any survivor would have been counted and removed.
+        # The heal restored only edges whose endpoints both survived.
+        assert runtime.partition_restored_edges <= runtime.partition_cut_edges
+        assert schedule.group(4) == 0 and schedule.group(7) == 1
+
+    def test_partition_replay_is_deterministic(self):
+        results = [self._run(seed=33)[1] for _ in range(2)]
+        for a, b in zip(results[0].records, results[1].records):
+            payload_a, payload_b = a.to_dict(), b.to_dict()
+            payload_a.pop("elapsed_seconds")
+            payload_b.pop("elapsed_seconds")
+            assert payload_a == payload_b
+
+    def test_partition_free_records_unchanged_by_feature(self):
+        # The partition axis must not add record fields or perturb the
+        # partition-free replay (golden stability).
+        trace = ChurnTrace.steady(3, population=60, join_rate=0.02,
+                                  leave_rate=0.02, seed=5)
+        base = run_dynamic(small_overlay(60, seed=6), trace,
+                           GossipConfig(delta=0.0), backend="dense")
+        again = run_dynamic(small_overlay(60, seed=6), trace,
+                            GossipConfig(delta=0.0), backend="dense",
+                            partition=None)
+        for a, b in zip(base.records, again.records):
+            payload_a, payload_b = a.to_dict(), b.to_dict()
+            payload_a.pop("elapsed_seconds")
+            payload_b.pop("elapsed_seconds")
+            assert payload_a == payload_b
+            assert "partition" not in " ".join(payload_a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="EpochPartition"):
+            DynamicReputationRuntime(small_overlay(), partition=object())

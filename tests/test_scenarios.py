@@ -250,3 +250,117 @@ def test_free_riding_full_shape_uses_sparse_by_spec():
     assert scenario.topology.num_nodes == 500_000
     assert scenario.backend == "sparse"
     assert np.isfinite(scenario.xi)
+
+
+class TestNetworkSpec:
+    def _scenario(self, network, **overrides):
+        from repro.scenarios import NetworkSpec  # noqa: F401 (re-export pin)
+
+        base = dict(
+            name="net-test",
+            description="network-axis validation fixture",
+            seed=1,
+            topology=TopologySpec("powerlaw", num_nodes=120, small_num_nodes=60),
+            workload=WorkloadSpec("mean"),
+            network=network,
+        )
+        base.update(overrides)
+        return Scenario(**base)
+
+    def test_reexported_from_package(self):
+        from repro.scenarios import NetworkSpec
+        from repro.scenarios.spec import NetworkSpec as inner
+
+        assert NetworkSpec is inner
+
+    def test_validation(self):
+        from repro.scenarios import NetworkSpec
+
+        with pytest.raises(ValueError, match="network kind"):
+            NetworkSpec(kind="mesh")
+        with pytest.raises(ValueError, match="loss"):
+            NetworkSpec(kind="uniform", loss=1.5)
+        with pytest.raises(ValueError, match="region structure"):
+            NetworkSpec(kind="uniform", partition_start=2.0, partition_duration=3.0)
+        with pytest.raises(ValueError, match="partition_duration"):
+            NetworkSpec(kind="regional", partition_start=2.0, partition_duration=0.0)
+        with pytest.raises(ValueError, match="partition_groups"):
+            NetworkSpec(kind="regional", partition_start=2.0,
+                        partition_duration=3.0, partition_groups=1)
+
+    def test_network_excludes_churn_loss(self):
+        from repro.scenarios import NetworkSpec
+
+        with pytest.raises(ValueError, match="subsumes the churn loss"):
+            self._scenario(
+                NetworkSpec(kind="uniform", loss=0.1),
+                churn=ChurnSpec(loss_probability=0.1),
+            )
+
+    def test_latency_network_requires_mean_workload(self):
+        from repro.scenarios import NetworkSpec
+
+        with pytest.raises(ValueError, match="'mean' workload"):
+            self._scenario(
+                NetworkSpec(kind="uniform", latency_mean=0.5),
+                workload=WorkloadSpec("dual-rank"),
+            )
+
+    def test_build_link_shapes(self):
+        from repro.network.conditions import (
+            HomogeneousLink,
+            InstantLink,
+            RegionalLinkModel,
+        )
+        from repro.scenarios import NetworkSpec
+
+        assert isinstance(
+            NetworkSpec(kind="uniform", loss=0.1).build_link(), InstantLink
+        )
+        assert isinstance(
+            NetworkSpec(kind="uniform", latency_mean=0.5).build_link(),
+            HomogeneousLink,
+        )
+        regional = NetworkSpec(
+            kind="regional", latency_mean=0.05, inter_latency_mean=0.5,
+            partition_start=3.0, partition_duration=4.0,
+        ).build_link()
+        assert isinstance(regional, RegionalLinkModel)
+        assert regional.partitions[0].end == 7.0
+
+    def test_epoch_partition_round_trip(self):
+        from repro.scenarios import NetworkSpec
+
+        spec = NetworkSpec(kind="regional", partition_start=3,
+                           partition_duration=4, partition_groups=2)
+        schedule = spec.epoch_partition()
+        assert (schedule.start_epoch, schedule.heal_epoch) == (3, 7)
+        assert NetworkSpec(kind="regional").epoch_partition() is None
+
+
+class TestNetworkScenarios:
+    NAMES = ("wan-vs-lan", "flaky-region", "partition-under-attack")
+
+    def test_registered(self):
+        for name in self.NAMES:
+            assert name in available_scenarios()
+            get_scenario(name)
+
+    def test_wan_vs_lan_small_runs_on_async(self):
+        result = run_scenario(get_scenario("wan-vs-lan"), small=True)
+        assert result.backend == "async"
+        assert result.converged_fraction == 1.0
+        assert result.metrics["max_abs_error"] < 1e-2
+        assert any("network conditions" in note for note in result.notes)
+
+    def test_flaky_region_small_converges_despite_flake(self):
+        result = run_scenario(get_scenario("flaky-region"), small=True)
+        assert result.backend == "async"
+        assert result.converged_fraction == 1.0
+        assert result.metrics["max_abs_error"] < 1e-2
+
+    def test_partition_under_attack_small_heals(self):
+        result = run_scenario(get_scenario("partition-under-attack"), small=True)
+        assert result.metrics["partition_epochs"] == 4
+        assert result.metrics["final_mean_abs_error"] < 1e-2
+        assert any("scheduled partition" in note for note in result.notes)
