@@ -6,7 +6,9 @@ Algorithm"*: the differential push gossip primitive, all four
 aggregation variants, the power-law network substrate, trust estimation,
 a composable adversary engine (collusion, whitewashing, slandering,
 on–off oscillation, sybil floods — :mod:`repro.attacks`), churn,
-comparison baselines, the full experiment harness that regenerates
+comparison baselines behind a first-class algorithm registry
+(:mod:`repro.algorithms` — see ``docs/tournament.md``), the full
+experiment harness that regenerates
 every table and figure of the paper's evaluation, and a long-running
 reputation service with streaming ingest and versioned snapshots
 (:mod:`repro.service` — see ``docs/service.md``).
@@ -40,6 +42,12 @@ from repro.core import (
     get_backend,
     push_counts,
     register_backend,
+)
+from repro.algorithms import (
+    AlgorithmOutcome,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
 )
 from repro.attacks import (
     AttackModel,
@@ -84,6 +92,10 @@ __all__ = [
     "ReputationTable",
     "WeightParams",
     "aggregate",
+    "AlgorithmOutcome",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
     "AttackModel",
     "attack_impact",
     "available_attacks",

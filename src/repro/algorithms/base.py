@@ -1,0 +1,182 @@
+"""The shared protocol every comparison algorithm is adapted to.
+
+The paper's headline claim is comparative — differential gossip beats
+normal push, GossipTrust-style uncalibrated estimates and flooding on
+accuracy, rounds and message overhead. To measure that head-to-head,
+every comparator (and differential gossip itself) is wrapped as an
+:class:`AggregationAlgorithm`: ``prepare(graph, trust, config)`` binds
+it to one world, and ``run(rng)`` executes one aggregation producing an
+:class:`AlgorithmOutcome` — the unified metric surface the tournament
+leaderboard (:mod:`repro.experiments.tournament`) compares like with
+like.
+
+The shared task: estimate the global reputation of a set of target
+peers from one :class:`~repro.trust.matrix.TrustMatrix`. Each algorithm
+defines its *own* exact aggregate (differential gossip's observer mean,
+push-sum's all-nodes mean, EigenTrust's damped eigenvector, ...), so
+``AlgorithmOutcome.truth`` is that algorithm's target and ``rms_error``
+measures how far the run landed from it — gossip algorithms pay gossip
+noise, exact fixpoint solvers pay only seed perturbation. Robustness is
+measured separately, by running the same algorithm on a clean and a
+poisoned world under one seed
+(:func:`repro.attacks.evaluate.attack_impact` with ``algorithm=``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.backend import GossipConfig
+from repro.network.graph import Graph
+from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class AlgorithmOutcome:
+    """What one aggregation run produced, on the unified metric surface.
+
+    Examples
+    --------
+    >>> from repro import get_algorithm
+    >>> from repro.network.topology_example import example_network
+    >>> from repro.trust.matrix import complete_trust_matrix
+    >>> graph = example_network()
+    >>> trust = complete_trust_matrix(graph.num_nodes, rng=1)
+    >>> outcome = get_algorithm("flooding").prepare(graph, trust, targets=[0, 3]).run()
+    >>> outcome.estimates.shape
+    (2,)
+    >>> outcome.rms_error  # flooding computes the exact observer mean
+    0.0
+    >>> bool(outcome.messages_per_node > 0)
+    True
+
+    Attributes
+    ----------
+    algorithm:
+        Canonical registry name of the algorithm that ran.
+    estimates:
+        Network-level estimate per tracked target, shape ``(T,)``.
+    truth:
+        The algorithm's own exact aggregate per target, shape ``(T,)``
+        — the accuracy reference (see the module docstring).
+    num_nodes:
+        Number of participating peers.
+    rounds:
+        Synchronous rounds / cycles / iterations until the algorithm's
+        own stop rule fired (the leaderboard's rounds-to-converge
+        column).
+    messages:
+        Total network messages under the adapter's documented counting
+        rule — every adapter docstring states exactly what one message
+        is, so leaderboard columns compare like with like (this is the
+        reconciliation of ``GossipOutcome.total_messages`` and
+        ``FloodResult.messages_per_node``).
+    converged:
+        Whether the algorithm's own convergence criterion was met
+        (``False`` means the iteration/step bound cut it off).
+    wall_clock_seconds:
+        Elapsed time of the ``run()`` call (stamped by
+        :class:`PreparedAlgorithm`).
+    node_estimates:
+        Optional per-node view, shape ``(N, T)``, for algorithms whose
+        peers hold individual estimates (gossip); ``None`` where every
+        peer ends with the same value (exact fixpoints, flooding).
+    raw:
+        The adapter's native result object (e.g. a
+        :class:`~repro.core.results.GossipOutcome`), for callers that
+        need more than the shared surface.
+    """
+
+    algorithm: str
+    estimates: np.ndarray
+    truth: np.ndarray
+    num_nodes: int
+    rounds: int
+    messages: int
+    converged: bool
+    wall_clock_seconds: float = 0.0
+    node_estimates: Optional[np.ndarray] = field(default=None, repr=False)
+    raw: object = field(default=None, repr=False)
+
+    @property
+    def rms_error(self) -> float:
+        """Eq.-18-style RMS relative error of ``estimates`` vs ``truth``."""
+        from repro.analysis.metrics import average_rms_error
+
+        return average_rms_error(self.estimates[None, :], self.truth[None, :])
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst absolute error of ``estimates`` against ``truth``."""
+        if self.estimates.size == 0:
+            return 0.0
+        return float(np.abs(self.estimates - self.truth).max())
+
+    @property
+    def messages_per_node(self) -> float:
+        """``messages / num_nodes`` — the per-peer overhead column."""
+        return self.messages / self.num_nodes if self.num_nodes else 0.0
+
+
+@dataclass
+class PreparedAlgorithm:
+    """An algorithm bound to one world, ready to ``run``.
+
+    Returned by :meth:`AggregationAlgorithm.prepare`; holds the bound
+    runner closure and stamps ``wall_clock_seconds`` on the outcome so
+    every adapter is timed identically.
+    """
+
+    algorithm: str
+    _runner: Callable[[RngLike], AlgorithmOutcome]
+
+    def run(self, rng: RngLike = None) -> AlgorithmOutcome:
+        """Execute one aggregation. ``rng`` overrides the prepared
+        config's seed when given; ``None`` keeps the config's own
+        ``rng`` (so a :class:`~repro.core.backend.GossipConfig` seeded
+        at prepare time replays byte-identically)."""
+        start = time.perf_counter()
+        outcome = self._runner(rng)
+        outcome.wall_clock_seconds = time.perf_counter() - start
+        return outcome
+
+
+@runtime_checkable
+class AggregationAlgorithm(Protocol):
+    """What the registry stores: a named comparison-algorithm adapter.
+
+    ``uses_backend`` declares whether the algorithm routes through the
+    gossip backend registry (and therefore whether a backend sweep is
+    meaningful for it — the tournament's "× backend where applicable").
+    """
+
+    name: str
+    uses_backend: bool
+
+    def prepare(
+        self,
+        graph: Graph,
+        trust: TrustMatrix,
+        config: Optional[GossipConfig] = None,
+        *,
+        targets: Optional[Sequence[int]] = None,
+        backend: str = "auto",
+    ) -> PreparedAlgorithm:
+        """Bind the algorithm to one world; return the runnable."""
+        ...
+
+
+def resolve_targets(trust: TrustMatrix, targets: Optional[Sequence[int]]) -> list:
+    """Tracked target columns: the given ids, or every node."""
+    if targets is None:
+        return list(range(trust.num_nodes))
+    out = [int(t) for t in targets]
+    for t in out:
+        if not 0 <= t < trust.num_nodes:
+            raise ValueError(f"target {t} outside 0..{trust.num_nodes - 1}")
+    return out

@@ -19,9 +19,12 @@ backward-compatible wrapper the Figure-5/6 experiments consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import AggregationAlgorithm, AlgorithmOutcome
 
 from repro.attacks.collusion import CollusionAttack, apply_collusion
 from repro.attacks.models import AttackModel, make_attack
@@ -45,18 +48,28 @@ class AttackImpact:
     ----------
     rms_gclr:
         Average RMS error of Differential Gossip Trust (GCLR weights).
+        When ``algorithm=`` was given, this column holds the measured
+        algorithm's clean-vs-poisoned shift instead (one unified column,
+        so sweep code reads the same field for every algorithm).
     rms_unweighted:
         Same attack against the plain global average (eqs. 8–12), the
         comparator whose gap to ``rms_gclr`` is eq. 17's damping.
     clean_outcome, dirty_outcome:
-        Raw gossip outcomes (``None`` under ``use_gossip=False``).
+        Raw gossip outcomes (``None`` under ``use_gossip=False`` and on
+        the ``algorithm=`` path).
     backend:
         Resolved backend name both runs executed on (``None`` for the
-        exact-fixpoint path).
+        exact-fixpoint path and for non-backend algorithms).
     epoch:
         The epoch the attack was applied at (on–off phases).
     num_nodes_dirty:
         Node count of the poisoned world (> clean for sybil floods).
+    algorithm:
+        Canonical registry name of the measured algorithm, or ``None``
+        for the classic vector-gclr path.
+    clean_algo_outcome, dirty_algo_outcome:
+        The two :class:`~repro.algorithms.base.AlgorithmOutcome` runs on
+        the ``algorithm=`` path (``None`` otherwise).
     """
 
     rms_gclr: float
@@ -66,6 +79,9 @@ class AttackImpact:
     backend: Optional[str] = None
     epoch: int = 0
     num_nodes_dirty: int = 0
+    algorithm: Optional[str] = None
+    clean_algo_outcome: Optional["AlgorithmOutcome"] = None
+    dirty_algo_outcome: Optional["AlgorithmOutcome"] = None
 
 
 #: Backward-compatible name (pre-adversary-engine API).
@@ -162,6 +178,7 @@ def attack_impact(
     config: Optional[GossipConfig] = None,
     backend: str = "auto",
     epoch: int = 0,
+    algorithm: Optional[Union[str, "AggregationAlgorithm"]] = None,
     _clean_cache: Optional[_CleanRunCache] = None,
 ) -> AttackImpact:
     """Measure eq.-18 RMS error for one attack on any backend.
@@ -201,6 +218,17 @@ def attack_impact(
     epoch:
         Attack epoch — on–off families poison only during their duty
         cycle's attack phases.
+    algorithm:
+        ``None`` (default) measures Differential Gossip Trust through
+        the classic vector-gclr path — byte-identical to the
+        pre-registry behaviour. A registered algorithm name (or
+        :class:`~repro.algorithms.base.AggregationAlgorithm` instance)
+        instead runs *that* algorithm on the clean and poisoned worlds
+        under one shared seed and reports its estimate shift in
+        ``rms_gclr``; ``use_gossip`` and ``params`` are ignored on this
+        path (the adapter owns its own execution), while ``config``,
+        ``backend`` (for backend-routed algorithms) and the
+        noise-cancellation seed discipline apply unchanged.
 
     Returns
     -------
@@ -233,6 +261,63 @@ def attack_impact(
     params = params if params is not None else config.params
 
     cache = _clean_cache if _clean_cache is not None else _CleanRunCache()
+
+    def unweighted_rms() -> float:
+        if "clean_unweighted" not in cache:
+            cache["clean_unweighted"] = unweighted_global_estimate(trust)[target_list]
+        clean_unweighted = cache["clean_unweighted"]
+        dirty_unweighted = unweighted_global_estimate(poisoned)[target_list]
+        # The unweighted estimate is the same at every node, so eq. 18's
+        # mean-over-rows collapses to the single row's RMS — tiling n
+        # identical rows would be O(n*T) memory for the same number.
+        return average_rms_error(dirty_unweighted[None, :], clean_unweighted[None, :])
+
+    if algorithm is not None:
+        from repro.algorithms import get_algorithm
+
+        algo = get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        seed = _derive_seed(config)
+        algo_resolved: Optional[str] = None
+        if algo.uses_backend:
+            algo_resolved = cache.get("resolved")
+            if algo_resolved is None:
+                algo_resolved = (
+                    choose_backend_name(dirty_graph, replace(config, rng=seed))
+                    if backend == "auto"
+                    else backend
+                )
+                cache["resolved"] = algo_resolved
+        if "clean_algo" not in cache:
+            cache["clean_algo"] = algo.prepare(
+                graph, trust, config, targets=target_list,
+                backend=algo_resolved or backend,
+            ).run(rng=seed)
+        clean_algo = cache["clean_algo"]
+        dirty_algo = algo.prepare(
+            dirty_graph, poisoned, config, targets=target_list,
+            backend=algo_resolved or backend,
+        ).run(rng=seed)
+        # Eq.-18 comparison of what the honest peers believe; per-node
+        # where the algorithm exposes it, network-level otherwise.
+        if clean_algo.node_estimates is not None and dirty_algo.node_estimates is not None:
+            rms_algo = average_rms_error(
+                dirty_algo.node_estimates[:n], clean_algo.node_estimates
+            )
+        else:
+            rms_algo = average_rms_error(
+                dirty_algo.estimates[None, :], clean_algo.estimates[None, :]
+            )
+        return AttackImpact(
+            rms_gclr=rms_algo,
+            rms_unweighted=unweighted_rms(),
+            backend=algo_resolved,
+            epoch=epoch,
+            num_nodes_dirty=dirty_graph.num_nodes,
+            algorithm=algo.name,
+            clean_algo_outcome=clean_algo,
+            dirty_algo_outcome=dirty_algo,
+        )
+
     clean_outcome = dirty_outcome = None
     resolved: Optional[str] = None
     if use_gossip:
@@ -288,17 +373,7 @@ def attack_impact(
     # Eq. 18 compares what the *honest* peers believe; sybil rows (ids
     # >= N) are the attacker's own vantage and are excluded.
     rms_gclr = average_rms_error(dirty[:n], clean)
-
-    if "clean_unweighted" not in cache:
-        cache["clean_unweighted"] = unweighted_global_estimate(trust)[target_list]
-    clean_unweighted = cache["clean_unweighted"]
-    dirty_unweighted = unweighted_global_estimate(poisoned)[target_list]
-    # The unweighted estimate is the same at every node, so eq. 18's
-    # mean-over-rows collapses to the single row's RMS — tiling n
-    # identical rows would be O(n*T) memory for the same number.
-    rms_unweighted = average_rms_error(
-        dirty_unweighted[None, :], clean_unweighted[None, :]
-    )
+    rms_unweighted = unweighted_rms()
     return AttackImpact(
         rms_gclr=rms_gclr,
         rms_unweighted=rms_unweighted,
@@ -321,6 +396,7 @@ def attack_impact_series(
     use_gossip: bool = True,
     config: Optional[GossipConfig] = None,
     backend: str = "auto",
+    algorithm: Optional[Union[str, "AggregationAlgorithm"]] = None,
 ) -> List[AttackImpact]:
     """Per-epoch impact trace: :func:`attack_impact` at epochs ``0..E-1``.
 
@@ -349,6 +425,7 @@ def attack_impact_series(
             config=shared,
             backend=backend,
             epoch=epoch,
+            algorithm=algorithm,
             _clean_cache=cache,
         )
         for epoch in range(epochs)

@@ -11,13 +11,31 @@ The paper positions differential gossip against:
   collusion analysis (eqs. 8–12) models;
 - **EigenTrust** (Kamvar et al., WWW'03) — the classic global reputation
   fixpoint, included as a related-work comparator;
+- **Absolute Trust** (Awasthi & Singh, arXiv:1601.01419) — the
+  self-weighted fixpoint without pre-trusted peers, with the
+  convergence guard of arXiv:1603.00589;
 - **flooding** — the deterministic full-dissemination strawman for
   message-overhead comparisons.
+
+Every baseline is also wrapped as a registered
+:mod:`repro.algorithms` adapter, so it plugs into the attack engine,
+the scenario layer and the tournament leaderboard through one shared
+protocol.
 """
 
-from repro.baselines.eigentrust import eigentrust
-from repro.baselines.flooding import flood_spread
-from repro.baselines.gossip_trust import gossip_trust_global, unweighted_global_estimate
+from repro.baselines.absolute_trust import (
+    AbsoluteTrustResult,
+    absolute_trust,
+    absolute_trust_fixpoint,
+)
+from repro.baselines.eigentrust import EigenTrustResult, eigentrust, eigentrust_fixpoint
+from repro.baselines.flooding import FloodResult, flood_spread
+from repro.baselines.gossip_trust import (
+    GossipTrustResult,
+    gossip_trust_fixpoint,
+    gossip_trust_global,
+    unweighted_global_estimate,
+)
 from repro.baselines.push_pull import push_pull_average
 from repro.baselines.push_sum import normal_push_engine, push_sum_average
 
@@ -26,7 +44,15 @@ __all__ = [
     "normal_push_engine",
     "push_pull_average",
     "gossip_trust_global",
+    "gossip_trust_fixpoint",
+    "GossipTrustResult",
     "unweighted_global_estimate",
     "eigentrust",
+    "eigentrust_fixpoint",
+    "EigenTrustResult",
+    "absolute_trust",
+    "absolute_trust_fixpoint",
+    "AbsoluteTrustResult",
     "flood_spread",
+    "FloodResult",
 ]

@@ -14,11 +14,13 @@ estimate degrades when pre-trusted peers are themselves colluders.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_probability
 
 
@@ -37,42 +39,32 @@ def _row_normalise(dense: np.ndarray, pretrusted_distribution: np.ndarray) -> np
     return out
 
 
-def eigentrust(
+@dataclass(frozen=True)
+class EigenTrustResult:
+    """Fixpoint solve outcome: the vector plus its convergence record."""
+
+    values: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def eigentrust_fixpoint(
     trust: TrustMatrix,
     *,
     pretrusted: Optional[Sequence[int]] = None,
     alpha: float = 0.1,
     max_iterations: int = 200,
     tolerance: float = 1e-12,
-) -> np.ndarray:
-    """Global EigenTrust vector for the given local trust matrix.
+    rng: RngLike = None,
+) -> EigenTrustResult:
+    """EigenTrust's power iteration with its full convergence record.
 
-    Parameters
-    ----------
-    trust:
-        Local trust matrix.
-    pretrusted:
-        Ids of pre-trusted peers. Defaults to node 0 — EigenTrust
-        *requires* a non-empty pre-trusted set for convergence
-        guarantees, which is precisely the deployment burden the paper
-        criticises.
-    alpha:
-        Damping weight toward the pre-trusted distribution, in [0, 1].
-    max_iterations, tolerance:
-        Power-iteration controls.
-
-    Returns
-    -------
-    numpy.ndarray
-        Global trust distribution (non-negative, sums to 1).
-
-    Examples
-    --------
-    >>> t = TrustMatrix(3)
-    >>> t.set(0, 1, 1.0); t.set(2, 1, 1.0); t.set(1, 2, 0.2)
-    >>> scores = eigentrust(t, pretrusted=[0])
-    >>> int(np.argmax(scores))
-    1
+    Same iteration as :func:`eigentrust` (which remains the thin shim
+    over this solver) but returns the iteration count and the converged
+    flag. ``rng`` (routed through :func:`repro.utils.rng.as_generator`)
+    seeds a random starting distribution instead of ``p``; the damped
+    map is an L1 contraction with factor ``1 - alpha``, so its fixpoint
+    is unique and the seed perturbs only the trajectory.
     """
     check_probability(alpha, "alpha")
     if max_iterations < 1:
@@ -90,12 +82,75 @@ def eigentrust(
     p[pretrusted] = 1.0 / len(pretrusted)
     c = _row_normalise(trust.to_dense(), p)
 
-    scores = p.copy()
-    for _ in range(max_iterations):
+    if rng is not None:
+        # Seeded-rng path: a random positive starting distribution.
+        start = 0.5 + 0.5 * as_generator(rng).random(n)
+        scores = start / start.sum()
+    else:
+        scores = p.copy()
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
         updated = (1.0 - alpha) * (c.T @ scores) + alpha * p
         if np.abs(updated - scores).sum() <= tolerance:
             scores = updated
+            converged = True
             break
         scores = updated
     total = scores.sum()
-    return scores / total if total > 0 else scores
+    values = scores / total if total > 0 else scores
+    return EigenTrustResult(values=values, iterations=iterations, converged=converged)
+
+
+def eigentrust(
+    trust: TrustMatrix,
+    *,
+    pretrusted: Optional[Sequence[int]] = None,
+    alpha: float = 0.1,
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Global EigenTrust vector for the given local trust matrix.
+
+    Parameters
+    ----------
+    trust:
+        Local trust matrix.
+    pretrusted:
+        Ids of pre-trusted peers. Defaults to node 0 — EigenTrust
+        *requires* a non-empty pre-trusted set for convergence
+        guarantees, which is precisely the deployment burden the paper
+        criticises.
+    alpha:
+        Damping weight toward the pre-trusted distribution, in [0, 1].
+    max_iterations, tolerance:
+        Power-iteration controls.
+    rng:
+        Optional seed for a random starting distribution (any
+        ``RngLike``; routed through
+        :func:`repro.utils.rng.as_generator`). The damped fixpoint is
+        unique, so the seed never changes the answer beyond
+        ``tolerance``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Global trust distribution (non-negative, sums to 1).
+
+    Examples
+    --------
+    >>> t = TrustMatrix(3)
+    >>> t.set(0, 1, 1.0); t.set(2, 1, 1.0); t.set(1, 2, 0.2)
+    >>> scores = eigentrust(t, pretrusted=[0])
+    >>> int(np.argmax(scores))
+    1
+    """
+    return eigentrust_fixpoint(
+        trust,
+        pretrusted=pretrusted,
+        alpha=alpha,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        rng=rng,
+    ).values

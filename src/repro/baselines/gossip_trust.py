@@ -18,11 +18,13 @@ single-cycle, weightless variant that the paper's collusion analysis
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.trust.matrix import TrustMatrix
+from repro.utils.rng import RngLike, as_generator
 from repro.utils.validation import check_positive
 
 
@@ -51,6 +53,81 @@ def unweighted_global_estimate(trust: TrustMatrix, *, over_all_nodes: bool = Tru
     return out
 
 
+@dataclass(frozen=True)
+class GossipTrustResult:
+    """Fixpoint solve outcome: the vector plus its convergence record."""
+
+    values: np.ndarray
+    cycles: int
+    converged: bool
+
+
+def gossip_trust_fixpoint(
+    trust: TrustMatrix,
+    *,
+    max_cycles: int = 200,
+    tolerance: float = 1e-10,
+    initial: Optional[np.ndarray] = None,
+    damping: float = 0.5,
+    rng: RngLike = None,
+) -> GossipTrustResult:
+    """GossipTrust's fixpoint solve with its full convergence record.
+
+    Same iteration as :func:`gossip_trust_global` (which remains the
+    thin shim over this solver) but returns the cycle count and the
+    converged flag — what the tournament leaderboard charges GossipTrust
+    per aggregation cycle. ``rng`` (routed through
+    :func:`repro.utils.rng.as_generator`) seeds a random positive
+    starting vector; the damped power iteration's fixpoint is the
+    principal eigenvector, so the seed perturbs the trajectory, not the
+    limit.
+    """
+    check_positive(tolerance, "tolerance")
+    if max_cycles < 1:
+        raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError(f"damping must lie in [0, 1), got {damping!r}")
+    n = trust.num_nodes
+    dense = trust.to_dense()
+    if initial is None and rng is not None:
+        # Seeded-rng path: positive start bounded away from 0 so no
+        # peer begins voiceless purely by draw; normalised like any
+        # explicit initial vector.
+        start = 0.5 + 0.5 * as_generator(rng).random(n)
+        reputation = start / start.sum()
+    elif initial is None:
+        reputation = np.full(n, 1.0 / n, dtype=np.float64)
+    else:
+        reputation = np.asarray(initial, dtype=np.float64).copy()
+        if reputation.shape != (n,):
+            raise ValueError(f"initial must have shape ({n},), got {reputation.shape}")
+        if reputation.min() < 0:
+            raise ValueError("initial reputations must be non-negative")
+        total = reputation.sum()
+        if total <= 0:
+            raise ValueError("initial reputations must not be all zero")
+        reputation /= total
+
+    converged = False
+    cycles = 0
+    for cycles in range(1, max_cycles + 1):
+        weighted = reputation @ dense  # sum_i R_i * t_ij
+        total = weighted.sum()
+        if total <= 0:
+            # Nobody trusts anybody: fall back to uniform, the fixpoint of
+            # an empty feedback matrix.
+            updated = np.full(n, 1.0 / n)
+        else:
+            updated = weighted / total
+        updated = damping * reputation + (1.0 - damping) * updated
+        if np.abs(updated - reputation).sum() <= tolerance:
+            reputation = updated
+            converged = True
+            break
+        reputation = updated
+    return GossipTrustResult(values=reputation, cycles=cycles, converged=converged)
+
+
 def gossip_trust_global(
     trust: TrustMatrix,
     *,
@@ -58,6 +135,7 @@ def gossip_trust_global(
     tolerance: float = 1e-10,
     initial: Optional[np.ndarray] = None,
     damping: float = 0.5,
+    rng: RngLike = None,
 ) -> np.ndarray:
     """GossipTrust's reputation-weighted global fixpoint.
 
@@ -77,6 +155,12 @@ def gossip_trust_global(
         bipartite-like trust structures; averaging with the previous
         iterate kills the negative eigenvalue's oscillation while
         preserving the fixpoint.
+    rng:
+        Optional seed for a random positive starting vector (routed
+        through :func:`repro.utils.rng.as_generator`; any
+        ``RngLike`` — ``None``, int, ``Generator``, ``SeedSequence``).
+        Ignored when ``initial`` is given. The fixpoint is
+        seed-independent; the trajectory is not.
 
     Returns
     -------
@@ -92,38 +176,11 @@ def gossip_trust_global(
     >>> bool(r[1] > r[0] > r[2])
     True
     """
-    check_positive(tolerance, "tolerance")
-    if max_cycles < 1:
-        raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
-    if not 0.0 <= damping < 1.0:
-        raise ValueError(f"damping must lie in [0, 1), got {damping!r}")
-    n = trust.num_nodes
-    dense = trust.to_dense()
-    if initial is None:
-        reputation = np.full(n, 1.0 / n, dtype=np.float64)
-    else:
-        reputation = np.asarray(initial, dtype=np.float64).copy()
-        if reputation.shape != (n,):
-            raise ValueError(f"initial must have shape ({n},), got {reputation.shape}")
-        if reputation.min() < 0:
-            raise ValueError("initial reputations must be non-negative")
-        total = reputation.sum()
-        if total <= 0:
-            raise ValueError("initial reputations must not be all zero")
-        reputation /= total
-
-    for _ in range(max_cycles):
-        weighted = reputation @ dense  # sum_i R_i * t_ij
-        total = weighted.sum()
-        if total <= 0:
-            # Nobody trusts anybody: fall back to uniform, the fixpoint of
-            # an empty feedback matrix.
-            updated = np.full(n, 1.0 / n)
-        else:
-            updated = weighted / total
-        updated = damping * reputation + (1.0 - damping) * updated
-        if np.abs(updated - reputation).sum() <= tolerance:
-            reputation = updated
-            break
-        reputation = updated
-    return reputation
+    return gossip_trust_fixpoint(
+        trust,
+        max_cycles=max_cycles,
+        tolerance=tolerance,
+        initial=initial,
+        damping=damping,
+        rng=rng,
+    ).values

@@ -48,9 +48,14 @@ def push_pull_average(
     graph:
         Topology.
     values:
-        Per-node numbers to average, shape ``(N,)``.
+        Per-node numbers to average: shape ``(N,)`` for one component,
+        or ``(N, d)`` to average ``d`` components in one pass (every
+        contact exchanges the whole state vector, so the message count
+        is per *contact*, not per component).
     xi, rng, max_steps, patience:
-        As in the shared engine contract.
+        As in the shared engine contract (``rng`` accepts any
+        ``RngLike``, routed through
+        :func:`repro.utils.rng.as_generator`).
 
     Examples
     --------
@@ -64,14 +69,20 @@ def push_pull_average(
     check_positive(xi, "xi")
     values = np.asarray(values, dtype=np.float64)
     n = graph.num_nodes
-    if values.shape != (n,):
-        raise ValueError(f"values must have shape ({n},), got {values.shape}")
+    if values.ndim not in (1, 2) or values.shape[0] != n:
+        raise ValueError(f"values must have shape ({n},) or ({n}, d), got {values.shape}")
+    columns = values.reshape(n, -1)
+    d = columns.shape[1]
     generator = as_generator(rng)
 
-    value = values.astype(np.float64).copy()
+    value = columns.astype(np.float64).copy()
     weight = np.ones(n, dtype=np.float64)
-    protocol = ConvergenceProtocol(graph, xi, num_components=1, patience=patience)
-    previous = ratios(value, weight).reshape(-1, 1)
+    protocol = ConvergenceProtocol(graph, xi, num_components=d, patience=patience)
+
+    def current_ratios() -> np.ndarray:
+        return ratios(value, np.broadcast_to(weight[:, None], value.shape))
+
+    previous = current_ratios()
     degrees = graph.degrees
     indptr, indices = graph.indptr, graph.indices
 
@@ -92,8 +103,8 @@ def push_pull_average(
             value[node] = value[neighbor] = mid_value
             weight[node] = weight[neighbor] = mid_weight
             heard_external[node] = heard_external[neighbor] = True
-            push_messages += 2  # request + response
-        current = ratios(value, weight).reshape(-1, 1)
+            push_messages += 2  # request + response (per contact, any d)
+        current = current_ratios()
         newly = protocol.observe(
             deviation_vector(current, previous), heard_external, weight != 0.0
         )
@@ -103,8 +114,8 @@ def push_pull_average(
         steps += 1
 
     return GossipOutcome(
-        values=value.reshape(-1, 1),
-        weights=weight.reshape(-1, 1),
+        values=value,
+        weights=np.repeat(weight[:, None], d, axis=1),
         extras={},
         steps=steps,
         push_messages=push_messages,

@@ -25,7 +25,7 @@ from repro.core.results import GossipOutcome
 from repro.core.vector_engine import VectorGossipEngine
 from repro.network.churn import PacketLossModel
 from repro.network.graph import Graph
-from repro.utils.rng import RngLike
+from repro.utils.rng import RngLike, as_generator
 
 
 def normal_push_engine(
@@ -34,12 +34,18 @@ def normal_push_engine(
     loss_model: Optional[PacketLossModel] = None,
     rng: RngLike = None,
 ) -> VectorGossipEngine:
-    """A :class:`VectorGossipEngine` configured as normal push (``k = 1``)."""
+    """A :class:`VectorGossipEngine` configured as normal push (``k = 1``).
+
+    ``rng`` accepts any ``RngLike`` (``None``, int seed, ``Generator``,
+    ``SeedSequence``) and is routed through
+    :func:`repro.utils.rng.as_generator` here, so a ``SeedSequence``
+    behaves identically to every other entry point.
+    """
     return VectorGossipEngine(
         graph,
         push_counts=fixed_push_counts(graph, 1),
         loss_model=loss_model,
-        rng=rng,
+        rng=as_generator(rng),
     )
 
 

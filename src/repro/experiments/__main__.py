@@ -26,10 +26,17 @@ def main(argv=None) -> int:
         help="experiment id (see 'list'), 'list' to enumerate, or 'all' to run everything",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the experiment seed")
-    parser.add_argument(
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
         "--full",
         action="store_true",
         help=f"full-scale sweeps (equivalent to {FULL_SCALE_ENV}=1); N up to 50000",
+    )
+    scale.add_argument(
+        "--small",
+        action="store_true",
+        help="force CI-smoke scale even if the environment requests full scale "
+        f"(equivalent to {FULL_SCALE_ENV}=0)",
     )
     parser.add_argument(
         "--parallel",
@@ -45,6 +52,8 @@ def main(argv=None) -> int:
 
     if args.full:
         os.environ[FULL_SCALE_ENV] = "1"
+    elif args.small:
+        os.environ[FULL_SCALE_ENV] = "0"
 
     if args.experiment == "list":
         for experiment_id in sorted(EXPERIMENTS):

@@ -14,6 +14,7 @@ from repro.experiments import (
     table1,
     table2,
     theorem52,
+    tournament,
     xi_accuracy,
 )
 from repro.experiments.runner import ExperimentResult
@@ -34,6 +35,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "xi_accuracy": xi_accuracy.run,
     "attack_slander": attack_sweeps.run_slander,
     "attack_sybil": attack_sweeps.run_sybil,
+    "tournament": tournament.run,
 }
 
 

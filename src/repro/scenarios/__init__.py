@@ -18,6 +18,7 @@ Run from the command line::
 """
 
 from repro.scenarios.spec import (
+    AlgorithmSpec,
     AttackSpec,
     ChurnSpec,
     DynamicSpec,
@@ -35,6 +36,7 @@ from repro.scenarios.spec import (
 from repro.scenarios import library  # noqa: F401  (registers the seeded catalogue)
 
 __all__ = [
+    "AlgorithmSpec",
     "AttackSpec",
     "ChurnSpec",
     "DynamicSpec",

@@ -1,9 +1,9 @@
 """The seeded scenario catalogue.
 
-Fifteen scenarios ship with the repro, spanning the design space the
+Sixteen scenarios ship with the repro, spanning the design space the
 ROADMAP names; each composes the same axes (topology × workload ×
-churn × network × attack × dynamics × service × backend), so new
-scenarios are a registration call away — no new plumbing. The two
+churn × network × attack × dynamics × service × algorithm × backend),
+so new scenarios are a registration call away — no new plumbing. The two
 dynamic scenarios (``flash-crowd``, ``steady-churn-100k``) run the
 epoch runtime of :mod:`repro.runtime` instead of a single static round,
 ``service-soak`` streams a seeded report workload through the serving
@@ -20,12 +20,15 @@ three network-conditions scenarios (``wan-vs-lan``, ``flaky-region``,
 ``partition-under-attack``) drive the link models of
 :mod:`repro.network.conditions` — regional latency on the event-driven
 async backend, a lossy region, and a scheduled partition healing under
-an active adversary.
+an active adversary. ``absolute-trust-powerlaw`` pins the algorithm
+axis: the static-powerlaw world executed by the Absolute Trust fixpoint
+through the registry of :mod:`repro.algorithms`.
 """
 
 from __future__ import annotations
 
 from repro.scenarios.spec import (
+    AlgorithmSpec,
     AttackSpec,
     ChurnSpec,
     DynamicSpec,
@@ -378,6 +381,24 @@ PARTITION_UNDER_ATTACK = register_scenario(
         xi=1e-5,
         max_steps=400,
         seed=425,
+    )
+)
+
+ABSOLUTE_TRUST_POWERLAW = register_scenario(
+    Scenario(
+        name="absolute-trust-powerlaw",
+        description=(
+            "Algorithm axis: the static-powerlaw trust-global world executed by "
+            "the Absolute Trust fixpoint baseline (arXiv:1601.01419) through the "
+            "algorithm registry — seeded random start, oscillation-damped "
+            "iteration, messages counted as iterations x explicit reports."
+        ),
+        topology=TopologySpec(kind="powerlaw", num_nodes=2000, small_num_nodes=200, m=2),
+        workload=WorkloadSpec(kind="trust-global", num_targets=20, observations="edge-local"),
+        algorithm=AlgorithmSpec(kind="absolute-trust"),
+        backend="auto",
+        xi=1e-5,
+        seed=426,
     )
 )
 

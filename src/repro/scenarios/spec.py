@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import AggregationAlgorithm
     from repro.attacks.models import AttackModel
     from repro.network.conditions import EpochPartition, LatencySpec, LinkModel
 
@@ -407,6 +408,41 @@ class AttackSpec:
 
 
 @dataclass(frozen=True)
+class AlgorithmSpec:
+    """Aggregation-algorithm axis: which registered algorithm executes.
+
+    ``kind`` names any algorithm in the registry
+    (:mod:`repro.algorithms`; aliases resolve). Setting this on a
+    scenario replaces the default vector-global gossip of the
+    ``"trust-global"`` workload with the named algorithm's adapter —
+    the same world (topology, trust matrix, sampled targets, seed)
+    measured through :class:`repro.algorithms.base.AlgorithmOutcome`,
+    so a scenario can pin a comparator (or a sweep can vary this axis)
+    without new plumbing.
+    """
+
+    kind: str = "diff-gossip"
+
+    def __post_init__(self) -> None:
+        from repro.algorithms import resolve_algorithm_name
+
+        resolve_algorithm_name(self.kind)  # raises UnknownAlgorithmError early
+
+    @property
+    def canonical(self) -> str:
+        """Canonical registry name (aliases resolved)."""
+        from repro.algorithms import resolve_algorithm_name
+
+        return resolve_algorithm_name(self.kind)
+
+    def build(self) -> "AggregationAlgorithm":
+        """The registered adapter this spec names."""
+        from repro.algorithms import get_algorithm
+
+        return get_algorithm(self.kind)
+
+
+@dataclass(frozen=True)
 class DynamicSpec:
     """Session churn driving the epoch runtime (:mod:`repro.runtime`).
 
@@ -514,6 +550,7 @@ class Scenario:
     attack: Optional[AttackSpec] = None
     dynamic: Optional[DynamicSpec] = None
     service: Optional["ServiceSpec"] = None
+    algorithm: Optional[AlgorithmSpec] = None
     backend: str = "auto"
     xi: float = 1e-5
     max_steps: int = 20_000
@@ -526,6 +563,11 @@ class Scenario:
             raise ValueError("scenario name must be non-empty")
         if self.workload.kind == "trust-gclr" and self.attack is None:
             raise ValueError("trust-gclr scenarios measure an attack; provide AttackSpec")
+        if self.algorithm is not None and self.workload.kind != "trust-global":
+            raise ValueError(
+                "the algorithm axis replaces the 'trust-global' workload's "
+                f"aggregation; got workload {self.workload.kind!r}"
+            )
         if self.dynamic is not None and self.workload.kind != "mean":
             raise ValueError(
                 "dynamic scenarios run the 'mean' workload (per-peer reputation scores); "
@@ -708,6 +750,12 @@ def run_scenario(
         # The service resolves the name the same way (it embeds the
         # dynamic runtime for its per-tick epochs).
         return _run_service(scenario, graph, config, backend_name, root, small=small)
+
+    if scenario.algorithm is not None:
+        # The algorithm axis executes the trust-global workload through
+        # a registered adapter; backend resolution only applies to
+        # backend-routed algorithms and happens inside.
+        return _run_algorithm(scenario, graph, config, backend_name, root, small=small)
 
     kind = scenario.workload.kind
     if backend_name == "auto":
@@ -908,6 +956,70 @@ def _run_service(scenario, graph, config, backend, root, *, small):
         steps=sum(t.epoch_steps for t in ticks),
         push_messages=sum(t.push_messages for t in ticks),
         converged_fraction=last.converged_fraction,
+        metrics=metrics,
+        elapsed_seconds=elapsed,
+        notes=notes,
+    )
+
+
+def _run_algorithm(scenario, graph, config, backend_name, root, *, small):
+    """Trust-global workload executed by a registered algorithm adapter.
+
+    Builds the *same* world as :func:`_run_trust_global` (identical RNG
+    draw order: trust matrix, then target sampling), then hands it to
+    the scenario's pinned algorithm. ``steps``/``push_messages`` on the
+    result carry the adapter's unified ``rounds``/``messages`` columns
+    (each adapter's docstring states its counting rule).
+    """
+    from repro.trust.matrix import complete_trust_matrix, random_trust_matrix
+
+    algo = scenario.algorithm.build()
+    n = graph.num_nodes
+    if scenario.workload.observations == "complete":
+        trust = complete_trust_matrix(n, rng=as_generator(int(root.integers(2**62))))
+    else:
+        trust = random_trust_matrix(graph, rng=as_generator(int(root.integers(2**62))))
+    num_targets = min(scenario.workload.num_targets, n)
+    target_rng = as_generator(int(root.integers(2**62)))
+    targets = sorted(int(t) for t in target_rng.choice(n, size=num_targets, replace=False))
+
+    if algo.uses_backend:
+        resolved = (
+            choose_backend_name(graph, config)
+            if backend_name == "auto"
+            else resolve_backend_name(backend_name)
+        )
+    else:
+        resolved = "n/a"  # the adapter owns its execution entirely
+
+    start = time.perf_counter()
+    outcome = algo.prepare(
+        graph, trust, config, targets=targets,
+        backend=resolved if algo.uses_backend else "auto",
+    ).run()
+    elapsed = time.perf_counter() - start
+
+    metrics = {
+        "num_targets": float(num_targets),
+        "accuracy_rms": outcome.rms_error,
+        "max_abs_error": outcome.max_abs_error,
+        "messages_per_node": outcome.messages_per_node,
+    }
+    notes = [
+        f"algorithm '{outcome.algorithm}' via the registry adapter; "
+        f"{scenario.workload.observations} trust observations",
+        "steps/push_messages are the adapter's rounds/messages columns "
+        "(counting rule in the adapter docstring)",
+    ]
+    return ScenarioResult(
+        name=scenario.name,
+        backend=resolved,
+        small=small,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        steps=outcome.rounds,
+        push_messages=outcome.messages,
+        converged_fraction=float(outcome.converged),
         metrics=metrics,
         elapsed_seconds=elapsed,
         notes=notes,

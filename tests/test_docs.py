@@ -4,11 +4,12 @@ Two failure modes this file pins down:
 
 1. **Dead links** — every relative markdown link (and in-page anchor)
    in ``README.md`` and ``docs/`` must resolve.
-2. **Registry drift** — the tables in ``docs/architecture.md`` must list
-   exactly what ``available_backends()`` / ``available_attacks()`` /
-   ``available_scenarios()`` expose. Registries are snapshotted in a
-   subprocess because the doctest suite registers throwaway ``demo``
-   entries in-process.
+2. **Registry drift** — the tables in ``docs/architecture.md`` (and the
+   algorithm catalogue in ``docs/tournament.md``) must list exactly what
+   ``available_backends()`` / ``available_attacks()`` /
+   ``available_algorithms()`` / ``available_scenarios()`` expose.
+   Registries are snapshotted in a subprocess because the doctest suite
+   registers throwaway ``demo`` entries in-process.
 """
 
 import json
@@ -72,10 +73,11 @@ def _registry_snapshot():
     """Backends/attacks/scenarios from a fresh interpreter (clean registries)."""
     code = (
         "import json\n"
-        "from repro import available_backends, available_attacks\n"
+        "from repro import available_backends, available_attacks, available_algorithms\n"
         "from repro.scenarios import available_scenarios\n"
         "print(json.dumps({'backends': sorted(available_backends()),"
         " 'attacks': sorted(available_attacks()),"
+        " 'algorithms': sorted(available_algorithms()),"
         " 'scenarios': sorted(available_scenarios())}))\n"
     )
     env = dict(os.environ)
@@ -134,6 +136,17 @@ def test_attack_table_matches_registry(registries, architecture_text):
 def test_scenario_table_matches_registry(registries, architecture_text):
     documented = _table_first_names(_section(architecture_text, "## Scenario catalogue"))
     assert documented == set(registries["scenarios"])
+
+
+def test_algorithm_catalogue_matches_registry(registries):
+    tournament = (REPO_ROOT / "docs" / "tournament.md").read_text()
+    documented = _table_first_names(_section(tournament, "## Algorithm catalogue"))
+    assert documented == set(registries["algorithms"])
+
+
+def test_architecture_algorithm_table_matches_registry(registries, architecture_text):
+    documented = _table_first_names(_section(architecture_text, "## Aggregation algorithms"))
+    assert documented == set(registries["algorithms"])
 
 
 def test_readme_backend_table_matches_registry(registries):

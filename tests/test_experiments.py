@@ -27,6 +27,7 @@ class TestRegistry:
             "xi_accuracy",
             "attack_slander",
             "attack_sybil",
+            "tournament",
         }
 
     def test_lookup_unknown_raises_with_catalogue(self):
